@@ -1,0 +1,307 @@
+// Package epcm is a Go reproduction of "Application-Controlled Physical
+// Memory using External Page-Cache Management" (Kieran Harty and David R.
+// Cheriton, ASPLOS 1992): the V++ kernel's virtual memory system, in which
+// the kernel exports a page-frame cache that process-level segment managers
+// — including application-specific ones — manage themselves.
+//
+// Because Go programs cannot control physical page frames (the runtime owns
+// memory), the machine is simulated: a deterministic physical memory, MMU
+// and cost model calibrated to the paper's DECstation 5000/200
+// measurements. Everything above that line is implemented for real: the
+// kernel's segments, bound regions and copy-on-write; the MigratePages /
+// ModifyPageFlags / GetPageAttributes / SetSegmentManager operations; the
+// generic and default segment managers; the System Page Cache Manager with
+// its dram memory market; and the ULTRIX 4.1 baseline the paper compares
+// against.
+//
+// Quick start:
+//
+//	sys, err := epcm.Boot(epcm.Config{MemoryBytes: 32 << 20, StoreData: true})
+//	mgr, _, err := sys.NewAppManager(epcm.ManagerConfig{Name: "mine"}, 1000)
+//	seg, err := mgr.CreateManagedSegment("data")
+//	err = sys.Kernel.Access(seg, 0, epcm.Write) // faults to *your* manager
+//
+// See examples/ for complete programs and bench_test.go for the harnesses
+// that regenerate every table of the paper's evaluation.
+package epcm
+
+import (
+	"io"
+
+	"epcm/internal/apps"
+	"epcm/internal/core"
+	"epcm/internal/db"
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/phys"
+	"epcm/internal/spcm"
+	"epcm/internal/storage"
+	"epcm/internal/trace"
+	"epcm/internal/workload"
+)
+
+// System is a booted V++ machine: kernel, SPCM, default segment manager and
+// file server over a simulated physical memory and virtual clock.
+type System = core.System
+
+// Config describes the machine and policies to boot.
+type Config = core.Config
+
+// Boot builds and starts a system.
+func Boot(cfg Config) (*System, error) { return core.Boot(cfg) }
+
+// Segment is a kernel segment: a variable-size range of pages backed by
+// page frames, the unit managers operate on.
+type Segment = kernel.Segment
+
+// Fault is a page-fault event delivered to a segment manager.
+type Fault = kernel.Fault
+
+// PageFlags are per-page state and protection flags.
+type PageFlags = kernel.PageFlags
+
+// Page flag and access-type constants re-exported from the kernel.
+const (
+	FlagRead        = kernel.FlagRead
+	FlagWrite       = kernel.FlagWrite
+	FlagRW          = kernel.FlagRW
+	FlagDirty       = kernel.FlagDirty
+	FlagReferenced  = kernel.FlagReferenced
+	FlagPinned      = kernel.FlagPinned
+	FlagDiscardable = kernel.FlagDiscardable
+
+	Read  = kernel.Read
+	Write = kernel.Write
+)
+
+// Manager is the segment-manager interface a custom manager implements (or
+// derives from Generic).
+type Manager = kernel.Manager
+
+// Cred is a credential for kernel operations; AppCred is the ordinary
+// unprivileged credential, SystemCred the SPCM's privileged one.
+type Cred = kernel.Cred
+
+// Credentials re-exported from the kernel.
+var (
+	AppCred    = kernel.AppCred
+	SystemCred = kernel.SystemCred
+)
+
+// Generic is the specializable generic segment manager of the paper's §2.2.
+type Generic = manager.Generic
+
+// ManagerConfig specializes a Generic manager (fill routine, replacement,
+// allocation constraints, delivery mode).
+type ManagerConfig = manager.Config
+
+// Backing supplies and persists page data for managed segments.
+type Backing = manager.Backing
+
+// Victim is one eviction candidate offered to a specialized replacement
+// policy (ManagerConfig.SelectVictim); MRUVictim is the classic DBMS scan
+// policy.
+type Victim = manager.Victim
+
+// MRUVictim evicts the most recently used (highest-numbered) page.
+func MRUVictim(cands []Victim) int { return manager.MRUVictim(cands) }
+
+// FrameRange constrains which physical frames may serve an allocation
+// (physical placement control and page coloring).
+type FrameRange = phys.Range
+
+// AnyFrame is the unconstrained FrameRange.
+func AnyFrame() FrameRange { return phys.AnyFrame() }
+
+// MarketPolicy is the SPCM's dram memory-market policy.
+type MarketPolicy = spcm.Policy
+
+// Account is one client of the memory market.
+type Account = spcm.Account
+
+// DefaultMarketPolicy returns the standard market parameters.
+func DefaultMarketPolicy() MarketPolicy { return spcm.DefaultPolicy() }
+
+// DBParams parametrizes the §3.3 database transaction-processing
+// experiment; DBConfig selects one of Table 4's four configurations.
+type (
+	DBParams = db.Params
+	DBConfig = db.MemoryConfig
+	DBResult = db.Result
+)
+
+// Table 4 configurations.
+const (
+	DBNoIndex           = db.NoIndex
+	DBIndexInMemory     = db.IndexInMemory
+	DBIndexWithPaging   = db.IndexWithPaging
+	DBIndexRegeneration = db.IndexRegeneration
+)
+
+// DefaultDBParams returns the paper's §3.3 setup (6 processors, 40 tps,
+// 95 % DebitCredit / 5 % joins).
+func DefaultDBParams() DBParams { return db.DefaultParams() }
+
+// RunDB runs one database configuration to completion.
+func RunDB(cfg DBConfig, p DBParams) *DBResult { return db.New(cfg, p).Run() }
+
+// RunDBAll runs all four Table 4 configurations.
+func RunDBAll(p DBParams) []*DBResult { return db.RunAll(p) }
+
+// WorkloadSpec is a §3.2 application model (diff, uncompress, latex).
+type WorkloadSpec = workload.Spec
+
+// Workloads returns the three Table 2/3 application models.
+func Workloads() []WorkloadSpec { return workload.All() }
+
+// MultiPool is the DBMS-style manager with per-data-type free-page
+// segments and scratch stealing (§2.2).
+type MultiPool = manager.MultiPool
+
+// NewMultiPool creates a multi-pool manager on a booted system.
+func NewMultiPool(sys *System, name string) *MultiPool {
+	return manager.NewMultiPool(sys.Kernel, name)
+}
+
+// Checkpointer and WriteBarrier are the Appel-Li style user-level
+// algorithms of §3.1: concurrent checkpointing and a concurrent-GC write
+// barrier, built on protection faults to the application's manager.
+type (
+	Checkpointer = apps.Checkpointer
+	WriteBarrier = apps.WriteBarrier
+)
+
+// MP3D is the §1 memory-adaptive particle simulation.
+type MP3D = apps.MP3D
+
+// Advanced backings (§2.1's "replicated writeback, page compression and
+// logging" schemes), all ordinary Backing implementations requiring no
+// kernel support.
+type (
+	CompressedBacking = manager.CompressedBacking
+	ReplicatedBacking = manager.ReplicatedBacking
+	LoggingBacking    = manager.LoggingBacking
+)
+
+// --- Storage -----------------------------------------------------------
+
+// BlockStore is the backing-store interface managers persist to.
+type BlockStore = storage.BlockStore
+
+// LatencyModel describes a storage device's timing.
+type LatencyModel = storage.LatencyModel
+
+// Latency models of the paper's devices.
+func LocalDisk() LatencyModel     { return storage.LocalDisk() }
+func NetworkServer() LatencyModel { return storage.NetworkServer() }
+
+// --- Backings ------------------------------------------------------------
+
+// Backing constructors; see the corresponding types above. These exist on
+// the facade because external users cannot import the internal packages.
+type (
+	FileBacking = manager.FileBacking
+	SwapBacking = manager.SwapBacking
+)
+
+// NewFileBacking maps managed segments to named files in a store.
+func NewFileBacking(store BlockStore) *FileBacking { return manager.NewFileBacking(store) }
+
+// NewSwapBacking persists anonymous pages to per-segment swap files.
+func NewSwapBacking(store BlockStore) *SwapBacking { return manager.NewSwapBacking(store) }
+
+// NewCompressedBacking stores pages run-length encoded (§2.1 compression).
+func NewCompressedBacking(store BlockStore) *CompressedBacking {
+	return manager.NewCompressedBacking(store)
+}
+
+// NewReplicatedBacking writes every page to two backings (§2.1 replicated
+// writeback).
+func NewReplicatedBacking(primary, replica Backing) *ReplicatedBacking {
+	return manager.NewReplicatedBacking(primary, replica)
+}
+
+// NewLoggingBacking journals writebacks ahead of their home locations
+// (§2.1 logging; database commit ordering).
+func NewLoggingBacking(store BlockStore, logName string) *LoggingBacking {
+	return manager.NewLoggingBacking(store, logName)
+}
+
+// --- Manager specializations ----------------------------------------------
+
+// Prefetch is the read-ahead manager; AsyncDevice models its overlapped
+// storage device.
+type (
+	Prefetch    = manager.Prefetch
+	AsyncDevice = manager.AsyncDevice
+)
+
+// NewAsyncDevice builds an overlapped storage device on the system clock.
+func NewAsyncDevice(sys *System, model LatencyModel) *AsyncDevice {
+	return manager.NewAsyncDevice(sys.Clock, model)
+}
+
+// NewColoring builds a page-coloring manager over the system's SPCM.
+func NewColoring(sys *System, cfg ManagerConfig, colors int) (*Generic, error) {
+	cfg.Source = sys.SPCM
+	return manager.NewColoring(sys.Kernel, cfg, colors)
+}
+
+// NewPlacement builds a NUMA-placement manager over the system's SPCM.
+func NewPlacement(sys *System, cfg ManagerConfig, nodeOf func(f Fault) int) (*Generic, error) {
+	cfg.Source = sys.SPCM
+	return manager.NewPlacement(sys.Kernel, cfg, nodeOf)
+}
+
+// Fault delivery modes (ManagerConfig.Delivery).
+const (
+	DeliverSameProcess     = kernel.DeliverSameProcess
+	DeliverSeparateProcess = kernel.DeliverSeparateProcess
+)
+
+// --- User-level algorithms --------------------------------------------------
+
+// NewCheckpointer builds a concurrent checkpointer (wire its Hook into the
+// manager's Protection and Attach it to the segment).
+func NewCheckpointer(sys *System) *Checkpointer {
+	return apps.NewCheckpointer(sys.Kernel, sys.Store)
+}
+
+// NewWriteBarrier builds a concurrent-GC write barrier for a segment.
+func NewWriteBarrier(sys *System, seg *Segment) *WriteBarrier {
+	return apps.NewWriteBarrier(sys.Kernel, seg)
+}
+
+// NewMP3D builds the §1 memory-adaptive particle simulation.
+func NewMP3D(sys *System, backing Backing, income float64) (*MP3D, error) {
+	return apps.NewMP3D(sys.Kernel, sys.SPCM, backing, income)
+}
+
+// ParallelQuery is the §1 XPRS-style adaptive-parallelism query model.
+type ParallelQuery = apps.ParallelQuery
+
+// NewParallelQuery builds a query executor registered with the SPCM.
+func NewParallelQuery(sys *System, backing Backing, income float64) (*ParallelQuery, error) {
+	return apps.NewParallelQuery(sys.Kernel, sys.SPCM, backing, income)
+}
+
+// --- Traces ------------------------------------------------------------------
+
+// Trace is a recorded page-reference string; Recorder captures one.
+type (
+	Trace    = trace.Trace
+	TraceRef = trace.Ref
+	Recorder = trace.Recorder
+)
+
+// NewRecorder wraps the system's kernel to capture references.
+func NewRecorder(sys *System) *Recorder { return trace.NewRecorder(sys.Kernel) }
+
+// DecodeTrace parses the text trace format.
+func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
+
+// ReplayTrace replays a trace against the system, creating segments under
+// the given manager.
+func ReplayTrace(sys *System, t *Trace, mgr *Generic) (trace.ReplayResult, error) {
+	return trace.Replay(sys.Kernel, t, mgr.CreateManagedSegment)
+}

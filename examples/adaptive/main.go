@@ -1,0 +1,80 @@
+// Adaptive: the paper's §1 motivating scenario — a large-scale particle
+// simulation (MP3D-style) that adjusts the number of particles it uses,
+// and thus the amount of memory it requires, based on the availability of
+// physical memory.
+//
+// The same total work (particle·steps) is run twice on a market-governed
+// machine where the simulation's dram income sustains only about half of
+// its maximum appetite:
+//
+//   - adaptive: queries the SPCM (free frames, unmet demand, affordable
+//     rent) and right-sizes its working set, discarding regenerable
+//     particle pages with no I/O;
+//   - oblivious: keeps the full working set, goes insolvent, loses frames
+//     to SPCM enforcement (with swap writebacks) and refaults them from
+//     disk every step — the thrashing the paper warns about.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"epcm/internal/apps"
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/phys"
+	"epcm/internal/sim"
+	"epcm/internal/spcm"
+	"epcm/internal/storage"
+)
+
+func main() {
+	work := flag.Int64("work", 30000, "total work in page-steps")
+	income := flag.Float64("income", 0.375, "simulation's dram income per second")
+	flag.Parse()
+
+	fmt.Printf("total work: %d page·steps; income sustains ~%.0f pages of a 200-page appetite\n\n",
+		*work, *income*256)
+	for _, adaptive := range []bool{true, false} {
+		elapsed, steps, ioOps, shrinks := run(*work, *income, adaptive)
+		mode := "oblivious"
+		if adaptive {
+			mode = "adaptive "
+		}
+		fmt.Printf("%s: %10v elapsed, %4d steps, %5d disk ops, %d shrinks\n",
+			mode, elapsed.Round(time.Millisecond), steps, ioOps, shrinks)
+	}
+}
+
+func run(work int64, income float64, adaptive bool) (time.Duration, int64, int64, int64) {
+	mem := phys.NewMemory(phys.Config{FrameSize: 4096, TotalBytes: 2 << 20, StoreData: false})
+	var clock sim.Clock
+	k := kernel.New(mem, &clock, sim.DECstation5000(), kernel.Config{})
+	policy := spcm.DefaultPolicy()
+	policy.FreeWhenUncontended = false
+	policy.SavingsTaxRate = 0
+	s := spcm.New(k, policy)
+	store := storage.NewStore(&clock, storage.LocalDisk(), 4096)
+
+	m, err := apps.NewMP3D(k, s, manager.NewSwapBacking(store), income)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Adaptive = adaptive
+	m.MaxPages = 200
+	m.MinPages = 16
+	m.Tick = func() {
+		s.SettleAll()
+		if _, err := s.Enforce(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	start := clock.Now()
+	steps, err := m.RunWork(work)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return clock.Now() - start, steps, store.Reads() + store.Writes(), m.Shrinks()
+}

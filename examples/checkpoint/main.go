@@ -1,0 +1,121 @@
+// Checkpoint: the user-level virtual-memory algorithms the paper's §3.1
+// argues benefit from cheap fault handling (citing Appel & Li) — concurrent
+// checkpointing and a concurrent-GC write barrier — built on an
+// application-specific segment manager.
+//
+// The checkpoint is consistent as of Begin even though the application
+// keeps mutating: first writes fault to the manager, which saves the old
+// page contents before enabling the write. The per-trapped-write cost on
+// V++ is below the 152 µs Ultrix signal+mprotect handler that the same
+// algorithm would pay on a conventional system.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"epcm/internal/apps"
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/phys"
+	"epcm/internal/sim"
+	"epcm/internal/storage"
+)
+
+const pages = 64
+
+func main() {
+	mem := phys.NewMemory(phys.Config{FrameSize: 4096, TotalBytes: 16 << 20, StoreData: true})
+	var clock sim.Clock
+	k := kernel.New(mem, &clock, sim.DECstation5000(), kernel.Config{})
+	store := storage.NewStore(&clock, storage.LocalDisk(), 4096)
+	pool, err := manager.NewFixedPool(k, 1024, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ckpt := apps.NewCheckpointer(k, store)
+	mgr, err := manager.NewGeneric(k, manager.Config{
+		Name:       "app-manager",
+		Source:     pool,
+		Protection: ckpt.Hook(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seg, err := mgr.CreateManagedSegment("heap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ckpt.Attach(mgr, seg)
+
+	// Build application state.
+	for p := int64(0); p < pages; p++ {
+		if err := k.Access(seg, p, kernel.Write); err != nil {
+			log.Fatal(err)
+		}
+		seg.FrameAt(p).Data()[0] = byte(p)
+	}
+
+	// Take a checkpoint while the application keeps writing.
+	if err := ckpt.Begin(); err != nil {
+		log.Fatal(err)
+	}
+	start := clock.Now()
+	appWrites := []int64{3, 9, 9, 17, 40}
+	for _, p := range appWrites {
+		if err := k.Access(seg, p, kernel.Write); err != nil {
+			log.Fatal(err)
+		}
+		seg.FrameAt(p).Data()[0] = 0xFF // post-checkpoint value
+	}
+	mutationTime := clock.Now() - start
+	if err := ckpt.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	img, err := ckpt.Image(1, pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	consistent := true
+	for p := int64(0); p < pages; p++ {
+		if img[p][0] != byte(p) {
+			consistent = false
+		}
+	}
+	fmt.Printf("checkpoint of %d pages: consistent as of Begin = %v\n", pages, consistent)
+	fmt.Printf("  saved in fault path: %d pages, drained in background: %d pages\n",
+		ckpt.FaultSaves(), ckpt.DrainSaves())
+	fmt.Printf("  application's %d mid-checkpoint writes cost %v total\n",
+		len(appWrites), mutationTime.Round(time.Microsecond))
+	fmt.Printf("  (the same writes through an Ultrix signal handler: %v of fault cost alone)\n",
+		time.Duration(ckpt.FaultSaves())*152*time.Microsecond)
+
+	// The write barrier: a concurrent GC's remembered set.
+	wb := apps.NewWriteBarrier(k, seg)
+	mgr2, err := manager.NewGeneric(k, manager.Config{
+		Name:   "gc-manager",
+		Source: pool,
+		Protection: func(f kernel.Fault) error {
+			return wb.Hook()(f)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Hand the segment to the GC's manager for the mark phase.
+	mgr2.Manage(seg)
+	if err := wb.Begin(); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []int64{5, 5, 12} {
+		if err := k.Access(seg, p, kernel.Write); err != nil {
+			log.Fatal(err)
+		}
+	}
+	written := wb.End()
+	fmt.Printf("\nGC write barrier recorded pages %v with %d faults (duplicates free)\n",
+		written, wb.Faults())
+}

@@ -1,0 +1,114 @@
+// Coloring: application-controlled physical page placement (§1, §2.4).
+//
+// "An application can allocate physical pages to virtual pages to minimize
+// mapping collisions in physically addressed caches and TLBs, implementing
+// page coloring on an application-specific basis."
+//
+// A hot working set the size of the cache is allocated twice: by a
+// color-aware segment manager that requests one frame per cache color from
+// the SPCM, and by an unlucky conventional allocation whose frames share
+// colors. The physically-indexed cache model shows the difference: near-
+// zero misses vs persistent conflict misses.
+//
+// The same constraint mechanism drives NUMA placement on a DASH-like
+// machine: the second half of the demo pins alternating pages to nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"epcm"
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/phys"
+	"epcm/internal/sim"
+)
+
+const colors = 16
+
+func main() {
+	missColored := cacheMissRatio(true)
+	missConflict := cacheMissRatio(false)
+	fmt.Printf("hot set of %d pages, %d-color 2-way physically-indexed cache:\n", colors, colors)
+	fmt.Printf("  color-aware allocation   miss ratio %.3f\n", missColored)
+	fmt.Printf("  conflicting allocation   miss ratio %.3f\n", missConflict)
+
+	placement()
+}
+
+func cacheMissRatio(colored bool) float64 {
+	mem := phys.NewMemory(phys.Config{FrameSize: 4096, TotalBytes: 16 << 20, CacheColors: colors, StoreData: true})
+	var clock sim.Clock
+	k := kernel.New(mem, &clock, sim.DECstation5000(), kernel.Config{})
+	pool, err := manager.NewFixedPool(k, 2048, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := manager.Config{Name: "hot", Source: pool}
+	var g *manager.Generic
+	if colored {
+		// One frame of each color: page p gets color p mod colors.
+		g, err = manager.NewColoring(k, cfg, colors)
+	} else {
+		// A conventional allocator can hand out frames that all collide.
+		cfg.Constraint = func(f kernel.Fault) phys.Range {
+			return phys.Range{Color: 0, Node: phys.NodeAny}
+		}
+		g, err = manager.NewGeneric(k, cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	seg, err := g.CreateManagedSegment("hot-data")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for p := int64(0); p < colors; p++ {
+		if err := k.Access(seg, p, epcm.Write); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cache := phys.NewCache(colors, 2)
+	for round := 0; round < 500; round++ {
+		for p := int64(0); p < colors; p++ {
+			cache.Access(seg.FrameAt(p))
+		}
+	}
+	return cache.MissRatio()
+}
+
+// placement demonstrates NUMA-aware frame allocation: even pages on node 0,
+// odd pages on node 1, as a DASH application would place data near the
+// processors using it.
+func placement() {
+	mem := phys.NewMemory(phys.Config{FrameSize: 4096, TotalBytes: 16 << 20, Nodes: 2, StoreData: true})
+	var clock sim.Clock
+	k := kernel.New(mem, &clock, sim.DECstation5000(), kernel.Config{})
+	pool, err := manager.NewFixedPool(k, 4000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := manager.NewPlacement(k, manager.Config{Name: "dash", Source: pool},
+		func(f kernel.Fault) int { return int(f.Page % 2) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	seg, err := g.CreateManagedSegment("shared-array")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for p := int64(0); p < 8; p++ {
+		if err := k.Access(seg, p, epcm.Write); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nNUMA placement (even pages -> node 0, odd -> node 1):")
+	attrs, err := k.GetPageAttributes(seg, 0, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range attrs {
+		fmt.Printf("  page %d -> PFN %5d  node %d\n", a.Page, a.PFN, a.Node)
+	}
+}

@@ -1,0 +1,3 @@
+module epcm
+
+go 1.22

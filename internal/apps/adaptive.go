@@ -1,0 +1,188 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/spcm"
+)
+
+// MP3D models the paper's §1 motivating application: "MP3D, a large scale
+// parallel particle simulation ... generates a final result based on the
+// averaging of a number of simulation runs. The simulation can be run for
+// a shorter amount of time if it uses many runs with a large number of
+// particles. This application could automatically adjust the number of
+// particles it uses for a run, and thus the amount of memory it requires,
+// based on availability of physical memory."
+//
+// The model: a fixed amount of total work (particle·steps, here
+// page·steps) must be performed. Each step scans the current working set
+// once, paying compute per page. An *adaptive* run resizes its working set
+// to what the SPCM can actually give it — fewer particles per step, more
+// steps, no paging. An *oblivious* run keeps its maximum working set and
+// thrashes when physical memory shrinks underneath it.
+type MP3D struct {
+	k       *kernel.Kernel
+	s       *spcm.SPCM
+	mgr     *manager.Generic
+	account *spcm.Account
+	seg     *kernel.Segment
+
+	// Adaptive selects working-set resizing.
+	Adaptive bool
+	// MaxPages and MinPages bound the working set.
+	MaxPages, MinPages int
+	// ComputePerPage is the per-step cost of processing one page of
+	// particles.
+	ComputePerPage time.Duration
+	// HeadroomPages is how many frames the adaptive policy leaves free for
+	// the rest of the system.
+	HeadroomPages int
+	// Tick, when set, runs after every step — the test and example hook
+	// for the SPCM's periodic settle/enforce cycle.
+	Tick func()
+
+	steps     int64
+	pageSteps int64
+	shrinks   int64
+	curPages  int
+}
+
+// NewMP3D builds the simulation over a manager registered with the SPCM.
+func NewMP3D(k *kernel.Kernel, s *spcm.SPCM, backing manager.Backing, income float64) (*MP3D, error) {
+	m := &MP3D{
+		k:              k,
+		s:              s,
+		MaxPages:       256,
+		MinPages:       16,
+		ComputePerPage: time.Millisecond,
+		HeadroomPages:  8,
+	}
+	g, err := manager.NewGeneric(k, manager.Config{
+		Name:         "mp3d",
+		Backing:      backing,
+		Source:       s,
+		RequestBatch: 32,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.mgr = g
+	m.account = s.Register(g, "mp3d", income)
+	seg, err := g.CreateManagedSegment("particles")
+	if err != nil {
+		return nil, err
+	}
+	m.seg = seg
+	return m, nil
+}
+
+// Manager exposes the simulation's segment manager (tests).
+func (m *MP3D) Manager() *manager.Generic { return m.mgr }
+
+// Steps and Shrinks report progress and adaptation counts.
+func (m *MP3D) Steps() int64   { return m.steps }
+func (m *MP3D) Shrinks() int64 { return m.shrinks }
+
+// chooseWorkingSet sizes the next step's working set. The adaptive policy
+// uses exactly the information the paper says conventional systems never
+// export: how much physical memory is actually obtainable (free pool plus
+// current holdings, minus headroom and the unmet demand of competitors)
+// and how much the account's income can sustainably pay for.
+func (m *MP3D) chooseWorkingSet() int {
+	if !m.Adaptive {
+		return m.MaxPages
+	}
+	held := m.mgr.FreeFrames() + m.mgr.ResidentPages()
+	avail := held + m.s.FreeFrames() - m.HeadroomPages - m.s.Demand()
+	target := m.MaxPages
+	if avail < target {
+		target = avail
+	}
+	// Affordability: holding P pages costs P/pagesPerMB × D drams per
+	// second; spend at most 90% of the account's income, leaving margin so
+	// rounding and timing jitter never tip the account into enforcement.
+	if price := m.s.Policy().PricePerMBSecond; price > 0 {
+		pagesPerMB := float64(1<<20) / float64(m.k.Mem().FrameSize())
+		affordable := int(0.9 * m.account.Income() / price * pagesPerMB)
+		if affordable < target {
+			target = affordable
+		}
+	}
+	if target < m.MinPages {
+		target = m.MinPages
+	}
+	return target
+}
+
+// shrinkTo discards working-set pages above target. The particle data is
+// regenerable (it is re-initialized each run), so the pages are marked
+// discardable and dropped with no writeback — the application-knowledge
+// move the kernel could never make on its own.
+func (m *MP3D) shrinkTo(target int) error {
+	pages := m.seg.Pages()
+	if len(pages) <= target {
+		return nil
+	}
+	excess := pages[target:]
+	for _, p := range excess {
+		if err := m.k.ModifyPageFlags(kernel.AppCred, m.seg, p, 1, kernel.FlagDiscardable, 0); err != nil {
+			return err
+		}
+		if err := m.mgr.EvictPage(m.seg, p); err != nil {
+			return err
+		}
+	}
+	// Return the freed frames so other applications can use them.
+	if _, err := m.mgr.ReturnFreeFrames(len(excess)); err != nil {
+		return err
+	}
+	m.shrinks++
+	m.curPages = target
+	return nil
+}
+
+// Step performs one simulated time step over the chosen working set and
+// reports the pages processed.
+func (m *MP3D) Step() (int, error) {
+	target := m.chooseWorkingSet()
+	if m.Adaptive && m.seg.PageCount() > target {
+		if err := m.shrinkTo(target); err != nil {
+			return 0, err
+		}
+	}
+	for p := int64(0); p < int64(target); p++ {
+		if err := m.k.Access(m.seg, p, kernel.Write); err != nil {
+			return 0, fmt.Errorf("mp3d step %d page %d: %w", m.steps, p, err)
+		}
+		m.k.Clock().Advance(m.ComputePerPage)
+	}
+	m.steps++
+	m.pageSteps += int64(target)
+	m.curPages = target
+	// Rent is charged on *held* frames, free ones included; keep only a
+	// small buffer beyond the working set.
+	if m.Adaptive && m.mgr.FreeFrames() > 4 {
+		if _, err := m.mgr.ReturnFreeFrames(m.mgr.FreeFrames() - 4); err != nil {
+			return 0, err
+		}
+	}
+	if m.Tick != nil {
+		m.Tick()
+	}
+	return target, nil
+}
+
+// RunWork performs steps until the total work target (page·steps) is met,
+// returning the number of steps taken.
+func (m *MP3D) RunWork(targetPageSteps int64) (int64, error) {
+	start := m.steps
+	for m.pageSteps < targetPageSteps {
+		if _, err := m.Step(); err != nil {
+			return m.steps - start, err
+		}
+	}
+	return m.steps - start, nil
+}

@@ -1,0 +1,166 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/spcm"
+)
+
+// ParallelQuery models the paper's second §1 example: "a parallel database
+// query processing program [XPRS] can adapt the degree of parallelism it
+// uses, and thus its memory usage, based on memory availability."
+//
+// A query splits its work over W parallel workers; each worker needs a
+// fixed working set (sort/hash space). With enough physical memory, more
+// workers mean a faster query. If the chosen degree's combined working set
+// exceeds the memory actually available, every worker thrashes: each page
+// it revisits has been evicted by its siblings. The adaptive planner asks
+// the SPCM what is available and picks the largest degree that fits; the
+// oblivious planner always uses the maximum degree.
+type ParallelQuery struct {
+	k   *kernel.Kernel
+	s   *spcm.SPCM
+	mgr *manager.Generic
+
+	// MaxDegree is the most workers the plan allows.
+	MaxDegree int
+	// WorkerPages is each worker's working set in pages.
+	WorkerPages int
+	// WorkPageTouches is the total work: page touches to perform, divided
+	// among workers. Each worker sweeps its working set cyclically.
+	WorkPageTouches int
+	// TouchCompute is CPU per touched page.
+	TouchCompute time.Duration
+	// Adaptive selects memory-aware degree choice.
+	Adaptive bool
+	// HeadroomPages is left free for the rest of the system when adapting.
+	HeadroomPages int
+
+	chosenDegree int
+}
+
+// NewParallelQuery builds a query executor over a manager registered with
+// the SPCM.
+func NewParallelQuery(k *kernel.Kernel, s *spcm.SPCM, backing manager.Backing, income float64) (*ParallelQuery, error) {
+	g, err := manager.NewGeneric(k, manager.Config{
+		Name:         "xprs-query",
+		Backing:      backing,
+		Source:       s,
+		RequestBatch: 32,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Register(g, "xprs-query", income)
+	return &ParallelQuery{
+		k: k, s: s, mgr: g,
+		MaxDegree:       8,
+		WorkerPages:     64,
+		WorkPageTouches: 4096,
+		TouchCompute:    500 * time.Microsecond,
+		HeadroomPages:   16,
+	}, nil
+}
+
+// Degree reports the degree the last Run chose.
+func (q *ParallelQuery) Degree() int { return q.chosenDegree }
+
+// Manager exposes the query's segment manager.
+func (q *ParallelQuery) Manager() *manager.Generic { return q.mgr }
+
+// chooseDegree picks the parallelism: adaptive plans fit the combined
+// working set into the memory the SPCM can actually provide.
+func (q *ParallelQuery) chooseDegree() int {
+	if !q.Adaptive {
+		return q.MaxDegree
+	}
+	held := q.mgr.FreeFrames() + q.mgr.ResidentPages()
+	avail := held + q.s.FreeFrames() - q.HeadroomPages
+	degree := avail / q.WorkerPages
+	if degree > q.MaxDegree {
+		degree = q.MaxDegree
+	}
+	if degree < 1 {
+		degree = 1
+	}
+	return degree
+}
+
+// Run executes the query and returns its virtual-time duration. Workers
+// interleave round-robin (they time-share the machine), each sweeping its
+// own working-set segment; the memory pressure their combined footprint
+// creates is handled — or suffered — by the ordinary manager machinery.
+func (q *ParallelQuery) Run() (time.Duration, error) {
+	degree := q.chooseDegree()
+	q.chosenDegree = degree
+	segs := make([]*kernel.Segment, degree)
+	for w := range segs {
+		seg, err := q.mgr.CreateManagedSegment(fmt.Sprintf("worker-%d", w))
+		if err != nil {
+			return 0, err
+		}
+		segs[w] = seg
+	}
+	start := q.k.Clock().Now()
+	perWorker := q.WorkPageTouches / degree
+	// Round-robin in chunks so workers genuinely interleave and contend.
+	const chunk = 16
+	offsets := make([]int, degree)
+	remaining := make([]int, degree)
+	for w := range remaining {
+		remaining[w] = perWorker
+	}
+	active := degree
+	for active > 0 {
+		for w := 0; w < degree; w++ {
+			if remaining[w] <= 0 {
+				continue
+			}
+			n := chunk
+			if n > remaining[w] {
+				n = remaining[w]
+			}
+			for i := 0; i < n; i++ {
+				page := int64((offsets[w] + i) % q.WorkerPages)
+				if err := q.k.Access(segs[w], page, kernel.Write); err != nil {
+					return 0, fmt.Errorf("worker %d page %d: %w", w, page, err)
+				}
+				q.k.Clock().Advance(q.TouchCompute / time.Duration(minInt(degree, q.cpus())))
+			}
+			offsets[w] = (offsets[w] + n) % q.WorkerPages
+			remaining[w] -= n
+			if remaining[w] <= 0 {
+				active--
+			}
+		}
+	}
+	elapsed := q.k.Clock().Now() - start
+	// Release everything: the query is done, and its sort/hash space is
+	// dead data — mark it discardable so the drop does no writeback (the
+	// §2.2 whole-structure discard of temporaries).
+	for _, seg := range segs {
+		for _, p := range seg.Pages() {
+			if err := q.k.ModifyPageFlags(kernel.AppCred, seg, p, 1, kernel.FlagDiscardable, 0); err != nil {
+				return elapsed, err
+			}
+		}
+		if err := q.mgr.DropSegmentPages(seg); err != nil {
+			return elapsed, err
+		}
+	}
+	_, err := q.mgr.ReturnFreeFrames(q.mgr.FreeFrames())
+	return elapsed, err
+}
+
+// cpus is the effective parallel speedup bound (the machine's processors).
+func (q *ParallelQuery) cpus() int { return 6 }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

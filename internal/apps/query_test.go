@@ -1,0 +1,103 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/phys"
+	"epcm/internal/sim"
+	"epcm/internal/spcm"
+	"epcm/internal/storage"
+)
+
+func newQueryFixture(t *testing.T, adaptive bool, memPages int64) (*ParallelQuery, *sim.Clock, *storage.Store, *spcm.SPCM) {
+	t.Helper()
+	mem := phys.NewMemory(phys.Config{FrameSize: 4096, TotalBytes: memPages * 4096, StoreData: false})
+	var clock sim.Clock
+	k := kernel.New(mem, &clock, sim.DECstation5000(), kernel.Config{})
+	s := spcm.New(k, spcm.DefaultPolicy())
+	store := storage.NewStore(&clock, storage.LocalDisk(), 4096)
+	q, err := NewParallelQuery(k, s, manager.NewSwapBacking(store), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Adaptive = adaptive
+	return q, &clock, store, s
+}
+
+func TestQueryUsesFullParallelismWhenMemoryAmple(t *testing.T) {
+	q, _, _, _ := newQueryFixture(t, true, 1024) // 8 workers × 64 pages fits easily
+	if _, err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Degree() != q.MaxDegree {
+		t.Fatalf("degree = %d, want max %d on an ample machine", q.Degree(), q.MaxDegree)
+	}
+}
+
+func TestQueryAdaptsDegreeToMemory(t *testing.T) {
+	q, _, _, _ := newQueryFixture(t, true, 200) // fits ~2 workers of 64 pages
+	if _, err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Degree() >= q.MaxDegree {
+		t.Fatalf("degree = %d, should have adapted down", q.Degree())
+	}
+	if q.Degree() < 1 || q.Degree() > 3 {
+		t.Fatalf("degree = %d, want 2-3 on a 200-page machine", q.Degree())
+	}
+}
+
+// §1's claim: on a constrained machine the adaptive plan (fewer workers,
+// each fitting in memory) beats the oblivious maximum-parallelism plan,
+// whose combined working set thrashes.
+func TestAdaptiveQueryBeatsObliviousWhenMemoryTight(t *testing.T) {
+	run := func(adaptive bool) (time.Duration, int64) {
+		q, clock, store, _ := newQueryFixture(t, adaptive, 200)
+		start := clock.Now()
+		if _, err := q.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return clock.Now() - start, store.Reads() + store.Writes()
+	}
+	adaptiveTime, adaptiveIO := run(true)
+	obliviousTime, obliviousIO := run(false)
+	if adaptiveTime >= obliviousTime {
+		t.Fatalf("adaptive %v not faster than oblivious %v",
+			adaptiveTime.Round(time.Millisecond), obliviousTime.Round(time.Millisecond))
+	}
+	if obliviousIO <= adaptiveIO {
+		t.Fatalf("oblivious should thrash: io %d vs adaptive %d", obliviousIO, adaptiveIO)
+	}
+}
+
+func TestQueryReleasesMemoryAfterRun(t *testing.T) {
+	q, _, _, s := newQueryFixture(t, true, 512)
+	free0 := s.FreeFrames()
+	if _, err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeFrames() != free0 {
+		t.Fatalf("SPCM has %d free, started with %d — query leaked frames", s.FreeFrames(), free0)
+	}
+}
+
+func TestQueryWorkConserved(t *testing.T) {
+	// The same total touches happen regardless of degree: a degree-1 run
+	// and a degree-8 run touch the same number of pages overall.
+	q1, c1, _, _ := newQueryFixture(t, true, 100) // forces low degree
+	if _, err := q1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	q8, c8, _, _ := newQueryFixture(t, true, 1024)
+	if _, err := q8.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// More parallelism on an ample machine is faster (CPU-bound phase).
+	if c8.Now() >= c1.Now() {
+		t.Fatalf("degree-%d (%v) not faster than degree-%d (%v)",
+			q8.Degree(), c8.Now(), q1.Degree(), c1.Now())
+	}
+}

@@ -1,0 +1,138 @@
+// Package core composes the complete V++ system of the paper: simulated
+// physical memory, the kernel virtual memory system (package kernel), a
+// file server (package storage), the System Page Cache Manager with its
+// memory market (package spcm), and the default segment manager (package
+// defaultmgr) — the "first team" of memory-resident servers started
+// immediately after kernel initialization (§2.3).
+//
+// Applications that want external page-cache management create their own
+// managers (package manager) registered with the SPCM; conventional
+// applications run oblivious on the default manager.
+package core
+
+import (
+	"time"
+
+	"epcm/internal/defaultmgr"
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/phys"
+	"epcm/internal/sim"
+	"epcm/internal/spcm"
+	"epcm/internal/storage"
+	"epcm/internal/uio"
+)
+
+// Config describes the machine and policy to boot.
+type Config struct {
+	// MemoryBytes is physical memory (default 128 MB, the paper's
+	// evaluation machine).
+	MemoryBytes int64
+	// FrameSize is the base page size (default 4 KB).
+	FrameSize int
+	// CacheColors and Nodes describe the cache and NUMA geometry.
+	CacheColors int
+	Nodes       int
+	// StoreData selects whether frames carry real bytes (turn off for
+	// large activity-only simulations).
+	StoreData bool
+	// Market is the SPCM policy (default spcm.DefaultPolicy).
+	Market *spcm.Policy
+	// Storage is the file-server latency model (default: diskless network
+	// server, as the paper's V++ machine).
+	Storage *storage.LatencyModel
+	// DefaultManagerIncome funds the default manager's account (default:
+	// effectively unlimited, since it serves everyone).
+	DefaultManagerIncome float64
+}
+
+// System is a booted V++ machine.
+type System struct {
+	Clock   *sim.Clock
+	Cost    *sim.CostModel
+	Mem     *phys.Memory
+	Kernel  *kernel.Kernel
+	Store   *storage.Store
+	SPCM    *spcm.SPCM
+	Default *defaultmgr.Default
+}
+
+// Boot builds and starts a system.
+func Boot(cfg Config) (*System, error) {
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = 128 << 20
+	}
+	if cfg.FrameSize == 0 {
+		cfg.FrameSize = 4096
+	}
+	if cfg.CacheColors == 0 {
+		cfg.CacheColors = 16
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 1
+	}
+	mem := phys.NewMemory(phys.Config{
+		FrameSize:   cfg.FrameSize,
+		TotalBytes:  cfg.MemoryBytes,
+		CacheColors: cfg.CacheColors,
+		Nodes:       cfg.Nodes,
+		StoreData:   cfg.StoreData,
+	})
+	clock := &sim.Clock{}
+	cost := sim.DECstation5000()
+	k := kernel.New(mem, clock, cost, kernel.Config{})
+
+	latency := storage.NetworkServer()
+	if cfg.Storage != nil {
+		latency = *cfg.Storage
+	}
+	store := storage.NewStore(clock, latency, cfg.FrameSize)
+
+	policy := spcm.DefaultPolicy()
+	if cfg.Market != nil {
+		policy = *cfg.Market
+	}
+	s := spcm.New(k, policy)
+
+	d, err := defaultmgr.New(k, store, defaultmgr.Config{Source: s})
+	if err != nil {
+		return nil, err
+	}
+	income := cfg.DefaultManagerIncome
+	if income == 0 {
+		income = 1e9 // the system's own server is never rationed
+	}
+	s.Register(d.Generic, "default-segment-manager", income)
+
+	// Boot-time kernel operations are not part of any measured run.
+	clock.Reset()
+	return &System{
+		Clock:   clock,
+		Cost:    cost,
+		Mem:     mem,
+		Kernel:  k,
+		Store:   store,
+		SPCM:    s,
+		Default: d,
+	}, nil
+}
+
+// NewAppManager creates an application-specific segment manager funded with
+// the given income, registered with the SPCM.
+func (s *System) NewAppManager(cfg manager.Config, income float64) (*manager.Generic, *spcm.Account, error) {
+	cfg.Source = s.SPCM
+	g, err := manager.NewGeneric(s.Kernel, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	a := s.SPCM.Register(g, cfg.Name, income)
+	return g, a, nil
+}
+
+// OpenFile opens a cached file through the default segment manager.
+func (s *System) OpenFile(name string) (*uio.File, error) {
+	return s.Default.OpenFile(name)
+}
+
+// Elapsed reports virtual time since boot.
+func (s *System) Elapsed() time.Duration { return s.Clock.Now() }

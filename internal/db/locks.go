@@ -1,0 +1,232 @@
+// Package db implements the paper's §3.3 evaluation application: a
+// simulated parallel database transaction-processing system in the style of
+// the paper's own program — "the locks were implemented and the parallelism
+// is real. However, the execution of a transaction is simulated by looping
+// for some number of instructions and a page fault is simulated by a
+// delay". Here the parallelism is real simulated-process parallelism over
+// the sim package's deterministic scheduler, the hierarchical locks are
+// fully implemented, and execution/faults are virtual-time delays.
+package db
+
+import (
+	"fmt"
+
+	"epcm/internal/sim"
+)
+
+// Mode is a hierarchical lock mode.
+type Mode int
+
+// Lock modes: intention-shared, intention-exclusive, shared, exclusive.
+const (
+	IS Mode = iota
+	IX
+	S
+	X
+)
+
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// compatible is the standard hierarchical-locking compatibility matrix.
+var compatible = [4][4]bool{
+	//         IS     IX     S      X
+	IS: {true, true, true, false},
+	IX: {true, true, false, false},
+	S:  {true, false, true, false},
+	X:  {false, false, false, false},
+}
+
+// Compatible reports whether two modes can be held simultaneously.
+func Compatible(a, b Mode) bool { return compatible[a][b] }
+
+// lockHold is one granted hold.
+type lockHold struct {
+	owner interface{}
+	mode  Mode
+}
+
+// lockWait is one queued request.
+type lockWait struct {
+	owner interface{}
+	mode  Mode
+	proc  *sim.Proc
+}
+
+// lock is one lockable resource.
+type lock struct {
+	name    string
+	granted []lockHold
+	queue   []lockWait
+}
+
+// grantable reports whether a request is compatible with every current
+// holder (excluding holds by the same owner: re-entrant same-owner holds
+// are always allowed in this model, since transactions acquire in a fixed
+// hierarchy order).
+func (l *lock) grantable(owner interface{}, mode Mode) bool {
+	for _, h := range l.granted {
+		if h.owner == owner {
+			continue
+		}
+		if !Compatible(h.mode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// LockStats counts lock-manager activity.
+type LockStats struct {
+	Acquires int64
+	Waits    int64 // acquisitions that blocked
+	Released int64
+}
+
+// LockManager is a hierarchical lock manager. Its default queueing is FIFO
+// (no barging): a request waits if an earlier request is still waiting,
+// which prevents reader streams from starving writers. With Barging set,
+// the manager grants any compatible request immediately (reader
+// preference), letting concurrent relation scans share their S locks — the
+// policy the simulated DBMS uses, trading writer latency for scan
+// throughput.
+type LockManager struct {
+	env   *sim.Env
+	locks map[string]*lock
+	// Barging enables reader-preference granting.
+	Barging bool
+	// waited records per-acquisition wait times for diagnosis.
+	waited sim.Series
+	stats  LockStats
+}
+
+// NewLockManager builds a lock manager over the simulation environment.
+func NewLockManager(env *sim.Env) *LockManager {
+	return &LockManager{env: env, locks: make(map[string]*lock)}
+}
+
+// Stats returns a snapshot of activity counters.
+func (m *LockManager) Stats() LockStats { return m.stats }
+
+// WaitStats returns the distribution of lock-wait times.
+func (m *LockManager) WaitStats() *sim.Series { return &m.waited }
+
+func (m *LockManager) lockFor(name string) *lock {
+	l, ok := m.locks[name]
+	if !ok {
+		l = &lock{name: name}
+		m.locks[name] = l
+	}
+	return l
+}
+
+// Acquire obtains `name` in `mode` on behalf of owner, blocking the calling
+// process in FIFO order until compatible. Owners must acquire locks in a
+// consistent hierarchy order (database, relation, page, index) — the model
+// relies on ordering, not detection, for deadlock freedom.
+func (m *LockManager) Acquire(p *sim.Proc, owner interface{}, name string, mode Mode) {
+	m.stats.Acquires++
+	l := m.lockFor(name)
+	if (m.Barging || len(l.queue) == 0) && l.grantable(owner, mode) {
+		l.granted = append(l.granted, lockHold{owner: owner, mode: mode})
+		m.waited.Add(0)
+		return
+	}
+	m.stats.Waits++
+	start := p.Now()
+	l.queue = append(l.queue, lockWait{owner: owner, mode: mode, proc: p})
+	p.Park()
+	m.waited.Add(p.Now() - start)
+	// The releaser granted the hold before waking us.
+}
+
+// Release drops every hold owner has on `name` and grants waiters.
+func (m *LockManager) Release(owner interface{}, name string) {
+	l := m.lockFor(name)
+	kept := l.granted[:0]
+	for _, h := range l.granted {
+		if h.owner == owner {
+			m.stats.Released++
+			continue
+		}
+		kept = append(kept, h)
+	}
+	l.granted = kept
+	m.grantWaiters(l)
+}
+
+// ReleaseAll drops every hold owner has anywhere (two-phase commit point).
+func (m *LockManager) ReleaseAll(owner interface{}) {
+	for _, l := range m.locks {
+		kept := l.granted[:0]
+		changed := false
+		for _, h := range l.granted {
+			if h.owner == owner {
+				m.stats.Released++
+				changed = true
+				continue
+			}
+			kept = append(kept, h)
+		}
+		l.granted = kept
+		if changed {
+			m.grantWaiters(l)
+		}
+	}
+}
+
+// grantWaiters grants queued requests: in FIFO order until the head is
+// incompatible, or — with Barging — every compatible waiter regardless of
+// position.
+func (m *LockManager) grantWaiters(l *lock) {
+	if !m.Barging {
+		for len(l.queue) > 0 {
+			w := l.queue[0]
+			if !l.grantable(w.owner, w.mode) {
+				return
+			}
+			l.queue = l.queue[1:]
+			l.granted = append(l.granted, lockHold{owner: w.owner, mode: w.mode})
+			m.env.Wake(w.proc)
+		}
+		return
+	}
+	kept := l.queue[:0]
+	for _, w := range l.queue {
+		if l.grantable(w.owner, w.mode) {
+			l.granted = append(l.granted, lockHold{owner: w.owner, mode: w.mode})
+			m.env.Wake(w.proc)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	l.queue = kept
+}
+
+// Holders reports the number of current holders of a lock (tests).
+func (m *LockManager) Holders(name string) int {
+	if l, ok := m.locks[name]; ok {
+		return len(l.granted)
+	}
+	return 0
+}
+
+// QueueLen reports the number of waiters on a lock (tests).
+func (m *LockManager) QueueLen(name string) int {
+	if l, ok := m.locks[name]; ok {
+		return len(l.queue)
+	}
+	return 0
+}

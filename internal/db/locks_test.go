@@ -1,0 +1,227 @@
+package db
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"epcm/internal/sim"
+)
+
+func newLockEnv() (*sim.Env, *LockManager) {
+	var c sim.Clock
+	env := sim.NewEnv(&c)
+	return env, NewLockManager(env)
+}
+
+// The standard compatibility matrix must be symmetric and have the
+// defining properties: IS compatible with everything but X; X compatible
+// with nothing.
+func TestCompatibilityMatrix(t *testing.T) {
+	modes := []Mode{IS, IX, S, X}
+	for _, a := range modes {
+		for _, b := range modes {
+			if Compatible(a, b) != Compatible(b, a) {
+				t.Fatalf("matrix asymmetric at %v,%v", a, b)
+			}
+			if a == X || b == X {
+				if Compatible(a, b) {
+					t.Fatalf("X compatible with %v", b)
+				}
+			}
+		}
+	}
+	if !Compatible(IS, S) || !Compatible(IS, IX) || !Compatible(IX, IX) || !Compatible(S, S) {
+		t.Fatal("expected compatibilities missing")
+	}
+	if Compatible(IX, S) {
+		t.Fatal("IX and S must conflict")
+	}
+}
+
+func TestSharedHoldersOverlapAndWriterWaits(t *testing.T) {
+	env, m := newLockEnv()
+	var events []string
+	reader := func(name string) func(*sim.Proc) {
+		return func(p *sim.Proc) {
+			m.Acquire(p, name, "r", S)
+			events = append(events, name+"+")
+			p.Sleep(10 * time.Millisecond)
+			events = append(events, name+"-")
+			m.ReleaseAll(name)
+		}
+	}
+	env.Go("r1", reader("r1"))
+	env.Go("r2", reader("r2"))
+	env.Go("w", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		m.Acquire(p, "w", "r", X)
+		events = append(events, "w+")
+		m.ReleaseAll("w")
+	})
+	if blocked := env.Run(); blocked != 0 {
+		t.Fatalf("blocked = %d", blocked)
+	}
+	// Both readers held concurrently; the writer ran only after both.
+	want := []string{"r1+", "r2+", "r1-", "r2-", "w+"}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+// FIFO (no barging): a reader arriving behind a queued writer waits, so
+// writers are not starved.
+func TestNoBargingBlocksLateReaders(t *testing.T) {
+	env, m := newLockEnv()
+	var order []string
+	env.Go("r1", func(p *sim.Proc) {
+		m.Acquire(p, "r1", "l", S)
+		p.Sleep(10 * time.Millisecond)
+		m.ReleaseAll("r1")
+	})
+	env.Go("w", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		m.Acquire(p, "w", "l", X)
+		order = append(order, "w")
+		p.Sleep(time.Millisecond)
+		m.ReleaseAll("w")
+	})
+	env.Go("r2", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond) // arrives while w queued
+		m.Acquire(p, "r2", "l", S)
+		order = append(order, "r2")
+		m.ReleaseAll("r2")
+	})
+	if blocked := env.Run(); blocked != 0 {
+		t.Fatalf("blocked = %d", blocked)
+	}
+	if order[0] != "w" || order[1] != "r2" {
+		t.Fatalf("order = %v, want writer first", order)
+	}
+}
+
+// With barging, the late reader joins the running reader immediately.
+func TestBargingLetsReadersShare(t *testing.T) {
+	env, m := newLockEnv()
+	m.Barging = true
+	var r2At time.Duration
+	env.Go("r1", func(p *sim.Proc) {
+		m.Acquire(p, "r1", "l", S)
+		p.Sleep(10 * time.Millisecond)
+		m.ReleaseAll("r1")
+	})
+	env.Go("w", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		m.Acquire(p, "w", "l", X)
+		m.ReleaseAll("w")
+	})
+	env.Go("r2", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond)
+		m.Acquire(p, "r2", "l", S)
+		r2At = p.Now()
+		p.Sleep(5 * time.Millisecond)
+		m.ReleaseAll("r2")
+	})
+	if blocked := env.Run(); blocked != 0 {
+		t.Fatalf("blocked = %d", blocked)
+	}
+	if r2At != 2*time.Millisecond {
+		t.Fatalf("barging reader waited until %v", r2At)
+	}
+}
+
+func TestReleaseSingleLock(t *testing.T) {
+	env, m := newLockEnv()
+	env.Go("a", func(p *sim.Proc) {
+		m.Acquire(p, "a", "l1", X)
+		m.Acquire(p, "a", "l2", X)
+		m.Release("a", "l1")
+		if m.Holders("l1") != 0 {
+			t.Error("l1 still held")
+		}
+		if m.Holders("l2") != 1 {
+			t.Error("l2 dropped")
+		}
+		m.ReleaseAll("a")
+	})
+	env.Run()
+	if m.Holders("l2") != 0 {
+		t.Fatal("ReleaseAll missed l2")
+	}
+}
+
+func TestIntentionLocksDoNotBlockEachOther(t *testing.T) {
+	env, m := newLockEnv()
+	concurrent := 0
+	max := 0
+	for i := 0; i < 10; i++ {
+		name := i
+		env.Go("dc", func(p *sim.Proc) {
+			m.Acquire(p, name, "rel", IX)
+			concurrent++
+			if concurrent > max {
+				max = concurrent
+			}
+			p.Sleep(time.Millisecond)
+			concurrent--
+			m.ReleaseAll(name)
+		})
+	}
+	if blocked := env.Run(); blocked != 0 {
+		t.Fatalf("blocked = %d", blocked)
+	}
+	if max != 10 {
+		t.Fatalf("max concurrent IX holders = %d, want 10", max)
+	}
+	if m.Stats().Waits != 0 {
+		t.Fatalf("IX holders waited %d times", m.Stats().Waits)
+	}
+}
+
+// Property: after any sequence of acquire/release by sequential owners,
+// every pair of simultaneously granted holds (different owners) is
+// compatible. We exercise it through the simulation with random workloads.
+func TestNoIncompatibleGrantsProperty(t *testing.T) {
+	f := func(seed uint16, barging bool) bool {
+		var c sim.Clock
+		env := sim.NewEnv(&c)
+		m := NewLockManager(env)
+		m.Barging = barging
+		rng := sim.NewRNG(uint64(seed) + 1)
+		violation := false
+		check := func() {
+			for _, l := range m.locks {
+				for i := 0; i < len(l.granted); i++ {
+					for j := i + 1; j < len(l.granted); j++ {
+						a, b := l.granted[i], l.granted[j]
+						if a.owner != b.owner && !Compatible(a.mode, b.mode) {
+							violation = true
+						}
+					}
+				}
+			}
+		}
+		for i := 0; i < 30; i++ {
+			owner := i
+			mode := Mode(rng.Intn(4))
+			lockName := []string{"l1", "l2"}[rng.Intn(2)]
+			hold := time.Duration(rng.Intn(5)+1) * time.Millisecond
+			env.GoAt(time.Duration(rng.Intn(50))*time.Millisecond, "p", func(p *sim.Proc) {
+				m.Acquire(p, owner, lockName, mode)
+				check()
+				p.Sleep(hold)
+				check()
+				m.ReleaseAll(owner)
+			})
+		}
+		if blocked := env.Run(); blocked != 0 {
+			return false
+		}
+		return !violation
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package db
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the model's qualitative behaviour: each paper-relevant
+// parameter moves the results in the direction the paper's argument
+// requires. They use short runs for speed.
+
+func sensParams() Params {
+	p := DefaultParams()
+	p.Transactions = 1500
+	p.Warmup = 100
+	return p
+}
+
+// Longer fault delays make the paging configuration strictly worse — the
+// whole point of "the cost of a page fault is too high to be hidden".
+func TestFaultDelayScalesPagingPain(t *testing.T) {
+	p := sensParams()
+	p.FaultDelay = 8 * time.Millisecond
+	fast := New(IndexWithPaging, p).Run()
+	p.FaultDelay = 24 * time.Millisecond
+	slow := New(IndexWithPaging, p).Run()
+	if slow.Average() <= fast.Average() {
+		t.Fatalf("tripling fault delay did not hurt: %v vs %v", slow.Average(), fast.Average())
+	}
+	if slow.Worst() <= fast.Worst() {
+		t.Fatalf("worst case did not grow: %v vs %v", slow.Worst(), fast.Worst())
+	}
+	// The other configurations are untouched by the fault delay.
+	p.FaultDelay = 8 * time.Millisecond
+	a := New(IndexInMemory, p).Run()
+	p.FaultDelay = 24 * time.Millisecond
+	b := New(IndexInMemory, p).Run()
+	if a.Average() != b.Average() {
+		t.Fatal("fault delay leaked into the in-memory configuration")
+	}
+}
+
+// More frequent memory pressure (shorter eviction period) makes paging
+// worse and regeneration only mildly worse — the asymmetry that carries
+// Table 4's conclusion.
+func TestPressurePeriodAsymmetry(t *testing.T) {
+	p := sensParams()
+	p.PressurePeriod = 250 // twice as often as the paper
+	pagingFreq := New(IndexWithPaging, p).Run()
+	regenFreq := New(IndexRegeneration, p).Run()
+	p.PressurePeriod = 500
+	pagingBase := New(IndexWithPaging, p).Run()
+	regenBase := New(IndexRegeneration, p).Run()
+
+	if pagingFreq.Average() <= pagingBase.Average() {
+		t.Fatalf("doubling pressure frequency did not hurt paging: %v vs %v",
+			pagingFreq.Average(), pagingBase.Average())
+	}
+	// Regeneration degrades far more gracefully.
+	pagingGrowth := float64(pagingFreq.Average()) / float64(pagingBase.Average())
+	regenGrowth := float64(regenFreq.Average()) / float64(regenBase.Average())
+	if regenGrowth >= pagingGrowth {
+		t.Fatalf("regeneration (x%.2f) should degrade less than paging (x%.2f)",
+			regenGrowth, pagingGrowth)
+	}
+}
+
+// A cheaper regeneration narrows the gap to the in-memory configuration.
+func TestRegenerationCostMatters(t *testing.T) {
+	p := sensParams()
+	p.RegenerateCPU = 100 * time.Millisecond
+	cheap := New(IndexRegeneration, p).Run()
+	p.RegenerateCPU = 800 * time.Millisecond
+	dear := New(IndexRegeneration, p).Run()
+	if dear.Worst() <= cheap.Worst() {
+		t.Fatalf("8x regeneration cost did not raise the worst case: %v vs %v",
+			dear.Worst(), cheap.Worst())
+	}
+}
+
+// A bigger evicted index (more pages out per cycle) lengthens the paging
+// stall linearly-ish.
+func TestEvictionSizeScalesStall(t *testing.T) {
+	p := sensParams()
+	p.IndexPagesOut = 128
+	small := New(IndexWithPaging, p).Run()
+	p.IndexPagesOut = 512
+	big := New(IndexWithPaging, p).Run()
+	if big.Worst() <= small.Worst() {
+		t.Fatalf("4x eviction size did not lengthen the stall: %v vs %v",
+			big.Worst(), small.Worst())
+	}
+	stall := time.Duration(512) * p.FaultDelay
+	if big.Worst() < stall {
+		t.Fatalf("worst %v below the raw 512-page stall %v", big.Worst(), stall)
+	}
+}
+
+// Join mix: more joins make the no-index configuration melt down faster
+// than the indexed one.
+func TestJoinFractionSensitivity(t *testing.T) {
+	p := sensParams()
+	p.JoinFraction = 0.02
+	fewScan := New(NoIndex, p).Run()
+	fewIdx := New(IndexInMemory, p).Run()
+	p.JoinFraction = 0.10
+	manyScan := New(NoIndex, p).Run()
+	manyIdx := New(IndexInMemory, p).Run()
+	scanGrowth := float64(manyScan.Average()) / float64(fewScan.Average())
+	idxGrowth := float64(manyIdx.Average()) / float64(fewIdx.Average())
+	if scanGrowth <= idxGrowth {
+		t.Fatalf("no-index (x%.2f) should degrade faster with joins than indexed (x%.2f)",
+			scanGrowth, idxGrowth)
+	}
+}
+
+// Different seeds produce different samples but the same ordering of
+// configurations — the conclusion is not a seed artifact.
+func TestOrderingRobustAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 1992, 31337} {
+		p := sensParams()
+		p.Seed = seed
+		results := RunAll(p)
+		byCfg := map[MemoryConfig]time.Duration{}
+		for _, r := range results {
+			byCfg[r.Config] = r.Average()
+		}
+		if !(byCfg[IndexInMemory] < byCfg[IndexRegeneration] &&
+			byCfg[IndexRegeneration] < byCfg[IndexWithPaging] &&
+			byCfg[IndexWithPaging] < byCfg[NoIndex]) {
+			t.Fatalf("seed %d broke the ordering: %v", seed, byCfg)
+		}
+	}
+}

@@ -1,0 +1,493 @@
+package defaultmgr
+
+import (
+	"testing"
+	"time"
+
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/phys"
+	"epcm/internal/sim"
+	"epcm/internal/storage"
+)
+
+type fixture struct {
+	clock *sim.Clock
+	k     *kernel.Kernel
+	store *storage.Store
+	pool  *manager.FixedPool
+	d     *Default
+}
+
+func newFixture(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	mem := phys.NewMemory(phys.Config{FrameSize: 4096, TotalBytes: 2 << 20, StoreData: true})
+	var clock sim.Clock
+	k := kernel.New(mem, &clock, sim.DECstation5000(), kernel.Config{})
+	store := storage.NewStore(&clock, storage.NetworkServer(), 4096)
+	pool, err := manager.NewFixedPool(k, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Source == nil {
+		cfg.Source = pool
+	}
+	d, err := New(k, store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{clock: &clock, k: k, store: store, pool: pool, d: d}
+}
+
+func TestOpenReadsThroughCache(t *testing.T) {
+	fx := newFixture(t, Config{})
+	fx.store.Preload("doc", 4, func(b int64, buf []byte) { buf[0] = byte('A' + b) })
+	f, err := fx.d.OpenFile("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := f.ReadBlock(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 'C' {
+		t.Fatalf("read %q", buf[0])
+	}
+	// First read fetched from the server; a re-read is cached.
+	reads := fx.store.Reads()
+	if err := f.ReadBlock(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if fx.store.Reads() != reads {
+		t.Fatal("cached read hit the server")
+	}
+}
+
+func TestRepeatedOpenSharesCacheEntry(t *testing.T) {
+	fx := newFixture(t, Config{})
+	fx.store.Preload("doc", 2, nil)
+	f1, err := fx.d.OpenFile("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := f1.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	reads := fx.store.Reads()
+	f2, err := fx.d.OpenFile("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Segment() != f1.Segment() {
+		t.Fatal("second open created a new segment")
+	}
+	if err := f2.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if fx.store.Reads() != reads {
+		t.Fatal("shared cache entry refetched")
+	}
+}
+
+func TestCloseKeepsPagesCached(t *testing.T) {
+	fx := newFixture(t, Config{})
+	fx.store.Preload("doc", 2, nil)
+	f, _ := fx.d.OpenFile("doc")
+	buf := make([]byte, 4096)
+	if err := f.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.d.CloseFile("doc"); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Segment().HasPage(0) {
+		t.Fatal("close evicted cached pages")
+	}
+	if err := fx.d.CloseFile("never-opened"); err == nil {
+		t.Fatal("close of unopened file succeeded")
+	}
+}
+
+// §3.2: appends allocate in 16 KB units — one manager call maps four pages,
+// so three subsequent appends take no fault at all.
+func TestAppendAllocatesIn16KUnits(t *testing.T) {
+	fx := newFixture(t, Config{})
+	f, err := fx.d.OpenFile("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := f.WriteBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	faults := fx.k.Stats().MissingFaults
+	if faults != 1 {
+		t.Fatalf("faults after first append = %d", faults)
+	}
+	if fx.d.Stats().AppendAllocs != 1 {
+		t.Fatalf("append allocs = %d", fx.d.Stats().AppendAllocs)
+	}
+	for b := int64(1); b < 4; b++ {
+		if err := f.WriteBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fx.k.Stats().MissingFaults; got != faults {
+		t.Fatalf("appends within the 16K unit faulted: %d -> %d", faults, got)
+	}
+	// The 5th block starts a new unit.
+	if err := f.WriteBlock(4, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := fx.k.Stats().MissingFaults; got != faults+1 {
+		t.Fatalf("fifth append: faults = %d, want %d", got, faults+1)
+	}
+}
+
+func TestAppendUnitConfigurable(t *testing.T) {
+	fx := newFixture(t, Config{AppendUnit: 1})
+	f, _ := fx.d.OpenFile("out")
+	buf := make([]byte, 4096)
+	for b := int64(0); b < 4; b++ {
+		if err := f.WriteBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fx.k.Stats().MissingFaults; got != 4 {
+		t.Fatalf("with unit 1, faults = %d, want 4", got)
+	}
+}
+
+// The default manager runs as a separate server process: a minimal fault
+// through it costs the Table 1 379 µs.
+func TestSeparateProcessFaultCost(t *testing.T) {
+	fx := newFixture(t, Config{})
+	seg, err := fx.d.NewAnonymousSegment("heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-grant frames so no source request intrudes on the measurement.
+	if _, err := fx.pool.RequestFrames(fx.d.Generic, 4, phys.AnyFrame()); err != nil {
+		t.Fatal(err)
+	}
+	start := fx.clock.Now()
+	if err := fx.k.Access(seg, 0, kernel.Write); err != nil {
+		t.Fatal(err)
+	}
+	got := fx.clock.Now() - start
+	if got != 379*time.Microsecond {
+		t.Fatalf("default-manager minimal fault = %v, want 379µs", got)
+	}
+}
+
+func TestAnonymousFirstTouchDoesNoIO(t *testing.T) {
+	fx := newFixture(t, Config{})
+	seg, _ := fx.d.NewAnonymousSegment("heap")
+	reads := fx.store.Reads()
+	if err := fx.k.Access(seg, 7, kernel.Write); err != nil {
+		t.Fatal(err)
+	}
+	if fx.store.Reads() != reads {
+		t.Fatal("first heap touch performed I/O")
+	}
+}
+
+func TestHeapSpillsToSwapAndReturns(t *testing.T) {
+	fx := newFixture(t, Config{})
+	seg, _ := fx.d.NewAnonymousSegment("heap")
+	if err := fx.k.Access(seg, 0, kernel.Write); err != nil {
+		t.Fatal(err)
+	}
+	seg.FrameAt(0).Data()[0] = 0x42
+	if err := fx.k.ModifyPageFlags(kernel.AppCred, seg, 0, 1, 0, kernel.FlagReferenced); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.d.Reclaim(1, phys.AnyFrame()); err != nil {
+		t.Fatal(err)
+	}
+	if seg.HasPage(0) {
+		t.Fatal("page not reclaimed")
+	}
+	// Force the association to break so the refault must hit swap: reuse
+	// the frame for another page.
+	if err := fx.k.Access(seg, 50, kernel.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.k.Access(seg, 0, kernel.Read); err != nil {
+		t.Fatal(err)
+	}
+	if seg.FrameAt(0).Data()[0] != 0x42 {
+		t.Fatal("swap round trip lost data")
+	}
+}
+
+func TestSamplingClockCountsReferences(t *testing.T) {
+	fx := newFixture(t, Config{UnprotectBatch: 4})
+	fx.store.Preload("doc", 16, nil)
+	f, _ := fx.d.OpenFile("doc")
+	buf := make([]byte, 4096)
+	for b := int64(0); b < 16; b++ {
+		if err := f.ReadBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fx.d.BeginSampleInterval(); err != nil {
+		t.Fatal(err)
+	}
+	// All pages are now protected: a memory reference faults.
+	protFaults := fx.k.Stats().ProtFaults
+	if err := fx.k.Access(f.Segment(), 0, kernel.Read); err != nil {
+		t.Fatal(err)
+	}
+	if fx.k.Stats().ProtFaults != protFaults+1 {
+		t.Fatal("no sampling fault on first reference")
+	}
+	// The batch unprotected pages 0-3: touching them again is silent.
+	for b := int64(1); b < 4; b++ {
+		if err := fx.k.Access(f.Segment(), b, kernel.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fx.k.Stats().ProtFaults != protFaults+1 {
+		t.Fatal("batched unprotect did not cover the run")
+	}
+	// Page 4 faults again.
+	if err := fx.k.Access(f.Segment(), 4, kernel.Read); err != nil {
+		t.Fatal(err)
+	}
+	if fx.k.Stats().ProtFaults != protFaults+2 {
+		t.Fatal("expected a new sampling fault at page 4")
+	}
+	usage := fx.d.SampledUsage()
+	if usage[f.Segment().ID()] != 8 {
+		t.Fatalf("sampled usage = %d, want 8 (two batches of 4)", usage[f.Segment().ID()])
+	}
+}
+
+// The batched unprotect is the paper's fault-amortization: with batch B,
+// scanning N pages takes N/B faults instead of N.
+func TestBatchingReducesSampleFaults(t *testing.T) {
+	run := func(batch int) int64 {
+		fx := newFixture(t, Config{UnprotectBatch: batch})
+		fx.store.Preload("doc", 32, nil)
+		f, _ := fx.d.OpenFile("doc")
+		buf := make([]byte, 4096)
+		for b := int64(0); b < 32; b++ {
+			if err := f.ReadBlock(b, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fx.d.BeginSampleInterval(); err != nil {
+			t.Fatal(err)
+		}
+		for b := int64(0); b < 32; b++ {
+			if err := fx.k.Access(f.Segment(), b, kernel.Read); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fx.d.Stats().SampleFaults
+	}
+	if f1, f8 := run(1), run(8); f1 != 32 || f8 != 4 {
+		t.Fatalf("sample faults: batch1=%d (want 32), batch8=%d (want 4)", f1, f8)
+	}
+}
+
+func TestWritebackAllFlushesDirty(t *testing.T) {
+	fx := newFixture(t, Config{})
+	f, _ := fx.d.OpenFile("out")
+	data := make([]byte, 4096)
+	data[9] = 0x99
+	if err := f.WriteBlock(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if fx.store.Size("out") != 0 {
+		t.Fatal("write reached the store before writeback")
+	}
+	if err := fx.d.WritebackAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := fx.store.Fetch("out", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[9] != 0x99 {
+		t.Fatal("writeback lost data")
+	}
+	flags, _ := f.Segment().Flags(0)
+	if flags.Has(kernel.FlagDirty) {
+		t.Fatal("dirty flag survived writeback")
+	}
+}
+
+func TestManagerCallCounting(t *testing.T) {
+	fx := newFixture(t, Config{})
+	f, _ := fx.d.OpenFile("out") // 1 call (open)
+	buf := make([]byte, 4096)
+	if err := f.WriteBlock(0, buf); err != nil { // 1 call (append fault)
+		t.Fatal(err)
+	}
+	if err := fx.d.CloseFile("out"); err != nil { // 1 call (close)
+		t.Fatal(err)
+	}
+	if got := fx.d.Stats().Calls; got != 3 {
+		t.Fatalf("manager calls = %d, want 3", got)
+	}
+}
+
+// §2.3's allocation policy: reclaim falls on the segments (and pages) that
+// went unreferenced during the sample interval.
+func TestRebalanceByUsageTakesFromIdleSegments(t *testing.T) {
+	fx := newFixture(t, Config{UnprotectBatch: 1})
+	fx.store.Preload("hot", 8, nil)
+	fx.store.Preload("cold", 8, nil)
+	hot, _ := fx.d.OpenFile("hot")
+	cold, _ := fx.d.OpenFile("cold")
+	buf := make([]byte, 4096)
+	for b := int64(0); b < 8; b++ {
+		if err := hot.ReadBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := cold.ReadBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fx.d.BeginSampleInterval(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the hot file is referenced during the interval.
+	for b := int64(0); b < 8; b++ {
+		if err := fx.k.Access(hot.Segment(), b, kernel.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := fx.d.RebalanceByUsage(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("reclaimed %d, want 6", n)
+	}
+	if hot.Segment().PageCount() != 8 {
+		t.Fatalf("hot segment lost pages: %d resident", hot.Segment().PageCount())
+	}
+	if cold.Segment().PageCount() != 2 {
+		t.Fatalf("cold segment has %d pages, want 2", cold.Segment().PageCount())
+	}
+	if err := fx.k.CheckFrameConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Rebalance never touches referenced or pinned pages even when asked for
+// more than is reclaimable.
+func TestRebalanceRespectsReferencedAndPinned(t *testing.T) {
+	fx := newFixture(t, Config{UnprotectBatch: 1})
+	fx.store.Preload("f", 4, nil)
+	f, _ := fx.d.OpenFile("f")
+	buf := make([]byte, 4096)
+	for b := int64(0); b < 4; b++ {
+		if err := f.ReadBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fx.d.BeginSampleInterval(); err != nil {
+		t.Fatal(err)
+	}
+	// Reference pages 0-1; pin page 2 (still protected).
+	for b := int64(0); b < 2; b++ {
+		if err := fx.k.Access(f.Segment(), b, kernel.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fx.k.ModifyPageFlags(kernel.AppCred, f.Segment(), 2, 1, kernel.FlagPinned, 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fx.d.RebalanceByUsage(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("reclaimed %d, want only the 1 idle unpinned page", n)
+	}
+	if !f.Segment().HasPage(0) || !f.Segment().HasPage(1) || !f.Segment().HasPage(2) {
+		t.Fatal("referenced or pinned pages were reclaimed")
+	}
+	if f.Segment().HasPage(3) {
+		t.Fatal("idle page 3 survived")
+	}
+}
+
+func TestDeleteFileDiscardsWithoutWriteback(t *testing.T) {
+	fx := newFixture(t, Config{})
+	f, err := fx.d.OpenFile("tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	for b := int64(0); b < 4; b++ {
+		if err := f.WriteBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	freeBefore := fx.d.FreeFrames()
+	writes := fx.store.Writes()
+	if err := fx.d.DeleteFile("tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if fx.store.Writes() != writes {
+		t.Fatal("deleting a file wrote its dead pages back")
+	}
+	if fx.d.FreeFrames() != freeBefore+4 {
+		t.Fatalf("frames not recovered: %d -> %d", freeBefore, fx.d.FreeFrames())
+	}
+	if err := fx.d.DeleteFile("tmp"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if err := fx.k.CheckFrameConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The daemon cycle: writeback, usage-based rebalance, new sample interval.
+func TestDaemonCycle(t *testing.T) {
+	fx := newFixture(t, Config{UnprotectBatch: 2})
+	f, _ := fx.d.OpenFile("working")
+	buf := make([]byte, 4096)
+	for b := int64(0); b < 8; b++ {
+		if err := f.WriteBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cycle 1: flushes dirty pages and protects everything.
+	if _, err := fx.d.Daemon(0); err != nil {
+		t.Fatal(err)
+	}
+	if fx.store.Size("working") != 8 {
+		t.Fatalf("writeback incomplete: %d blocks", fx.store.Size("working"))
+	}
+	// Touch half the file during the interval.
+	for b := int64(0); b < 4; b++ {
+		if err := fx.k.Access(f.Segment(), b, kernel.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cycle 2: the idle half is reclaimable; everything is clean so no
+	// further writes happen.
+	writes := fx.store.Writes()
+	n, err := fx.d.Daemon(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("reclaimed %d, want the 4 idle pages", n)
+	}
+	if fx.store.Writes() != writes {
+		t.Fatal("clean pages were rewritten")
+	}
+	for b := int64(0); b < 4; b++ {
+		if !f.Segment().HasPage(b) {
+			t.Fatalf("touched page %d reclaimed", b)
+		}
+	}
+}

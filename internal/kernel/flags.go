@@ -1,0 +1,70 @@
+package kernel
+
+import "strings"
+
+// PageFlags are the per-page state and protection flags exposed to segment
+// managers through MigratePages, ModifyPageFlags and GetPageAttributes.
+// The paper's key point (§2.1) is that managers can modify state flags like
+// Dirty — not just the protection flags a Unix mprotect reaches.
+type PageFlags uint16
+
+const (
+	// FlagRead permits read access by applications.
+	FlagRead PageFlags = 1 << iota
+	// FlagWrite permits write access by applications.
+	FlagWrite
+	// FlagDirty records that the page was modified since the flag was last
+	// cleared. Managers clear it on writeback and honour it on reclaim.
+	FlagDirty
+	// FlagReferenced records that the page was accessed since the flag was
+	// last cleared. Clock-style managers sweep and clear it.
+	FlagReferenced
+	// FlagPinned marks the page as ineligible for replacement. This is a
+	// manager-level convention (the kernel does no reclamation in V++), but
+	// it lives in the shared flag word so GetPageAttributes reports it.
+	FlagPinned
+	// FlagDiscardable marks a dirty page whose data need not be written
+	// back (§4 discussion of Subramanian's discardable pages): the manager
+	// may reclaim the frame without I/O.
+	FlagDiscardable
+)
+
+// FlagRW is the common read-write protection.
+const FlagRW = FlagRead | FlagWrite
+
+// flagNames is ordered to match the bit positions above.
+var flagNames = []struct {
+	f    PageFlags
+	name string
+}{
+	{FlagRead, "r"},
+	{FlagWrite, "w"},
+	{FlagDirty, "dirty"},
+	{FlagReferenced, "ref"},
+	{FlagPinned, "pin"},
+	{FlagDiscardable, "disc"},
+}
+
+// String renders the flag set for diagnostics, e.g. "r|w|dirty".
+func (f PageFlags) String() string {
+	if f == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, fn := range flagNames {
+		if f&fn.f != 0 {
+			parts = append(parts, fn.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Has reports whether all bits of q are set in f.
+func (f PageFlags) Has(q PageFlags) bool { return f&q == q }
+
+// Apply returns f with set bits set and clear bits cleared, matching the
+// sFlgs/cFlgs parameters of the paper's kernel operations. Clearing wins if
+// a bit appears in both.
+func (f PageFlags) Apply(set, clear PageFlags) PageFlags {
+	return (f | set) &^ clear
+}

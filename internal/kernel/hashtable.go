@@ -1,0 +1,118 @@
+package kernel
+
+// The V++ kernel does not describe address spaces with per-process page
+// tables. Per §3.2: "V++ augments the segment and bound region data
+// structures with a global 64K entry direct mapped hash table with a 32
+// entry overflow area." This file implements that structure.
+//
+// The hash table is a cache over the authoritative segment page maps: a
+// lookup miss is not an error, it just forces the (more expensive) walk of
+// the segment and bound-region structures. Inserting into an occupied slot
+// displaces the occupant to the overflow area; when the overflow area is
+// full the displaced mapping is simply dropped.
+
+const (
+	hashTableSlots = 64 * 1024
+	hashOverflow   = 32
+)
+
+type mapKey struct {
+	seg  SegID
+	page int64
+}
+
+type hashEntry struct {
+	key   mapKey
+	entry *pageEntry
+	valid bool
+}
+
+type mappingTable struct {
+	slots    []hashEntry
+	overflow [hashOverflow]hashEntry
+	// statistics
+	hits, misses, spills, drops int64
+}
+
+func newMappingTable() *mappingTable {
+	return &mappingTable{slots: make([]hashEntry, hashTableSlots)}
+}
+
+// index computes the direct-mapped slot for a key. The multiplier is a
+// 64-bit odd constant (Fibonacci hashing); segment and page both participate
+// so consecutive pages of one segment spread across the table.
+func (t *mappingTable) index(k mapKey) int {
+	h := uint64(k.seg)<<40 ^ uint64(k.page)
+	h *= 0x9e3779b97f4a7c15
+	return int(h >> (64 - 16)) // top 16 bits: 64K slots
+}
+
+// lookup finds the page entry for key, reporting whether it was present.
+func (t *mappingTable) lookup(k mapKey) (*pageEntry, bool) {
+	s := &t.slots[t.index(k)]
+	if s.valid && s.key == k {
+		t.hits++
+		return s.entry, true
+	}
+	for i := range t.overflow {
+		o := &t.overflow[i]
+		if o.valid && o.key == k {
+			t.hits++
+			return o.entry, true
+		}
+	}
+	t.misses++
+	return nil, false
+}
+
+// insert caches a mapping, displacing any colliding occupant to the overflow
+// area (and dropping the displaced mapping if the overflow area is full).
+func (t *mappingTable) insert(k mapKey, e *pageEntry) {
+	s := &t.slots[t.index(k)]
+	if s.valid && s.key != k {
+		// Displace the occupant into the overflow area.
+		for i := range t.overflow {
+			if !t.overflow[i].valid {
+				t.overflow[i] = *s
+				t.spills++
+				goto placed
+			}
+		}
+		t.drops++ // overflow full: the displaced mapping is forgotten
+	placed:
+	}
+	*s = hashEntry{key: k, entry: e, valid: true}
+}
+
+// remove forgets a mapping (page unmapped, migrated away, or flags changed
+// such that cached translations must not be used).
+func (t *mappingTable) remove(k mapKey) {
+	s := &t.slots[t.index(k)]
+	if s.valid && s.key == k {
+		s.valid = false
+	}
+	for i := range t.overflow {
+		if t.overflow[i].valid && t.overflow[i].key == k {
+			t.overflow[i].valid = false
+		}
+	}
+}
+
+// removeSegment drops every cached mapping of one segment (segment delete).
+func (t *mappingTable) removeSegment(seg SegID) {
+	for i := range t.slots {
+		if t.slots[i].valid && t.slots[i].key.seg == seg {
+			t.slots[i].valid = false
+		}
+	}
+	for i := range t.overflow {
+		if t.overflow[i].valid && t.overflow[i].key.seg == seg {
+			t.overflow[i].valid = false
+		}
+	}
+}
+
+// Stats for tests and instrumentation.
+func (t *mappingTable) stats() (hits, misses, spills, drops int64) {
+	return t.hits, t.misses, t.spills, t.drops
+}

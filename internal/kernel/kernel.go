@@ -1,0 +1,684 @@
+// Package kernel implements the V++ kernel virtual memory system of the
+// paper: segments, bound regions (including copy-on-write), the global
+// mapping hash table and TLB, and the external page-cache management
+// operations SetSegmentManager, MigratePages, ModifyPageFlags and
+// GetPageAttributes.
+//
+// The kernel deliberately does *no* page reclamation, no writeback and no
+// allocation policy — those live in process-level segment managers (package
+// manager, defaultmgr and spcm). Its job is exactly the paper's: keep the
+// mapping structures, move page frames between segments as told, and
+// deliver fault events to the managers, charging the machine cost model for
+// every step so the experiments can measure path lengths.
+package kernel
+
+import (
+	"fmt"
+
+	"epcm/internal/phys"
+	"epcm/internal/sim"
+)
+
+// Config sets kernel parameters. The zero value selects the paper's
+// defaults.
+type Config struct {
+	// TLBEntries is the TLB size (64 on the R3000).
+	TLBEntries int
+	// MaxFaultRetries bounds how many times one memory reference may fault
+	// before the kernel gives up with ErrFaultLoop.
+	MaxFaultRetries int
+}
+
+// Stats counts kernel activity. The fields correspond to the columns of the
+// paper's Table 3 plus supporting detail.
+type Stats struct {
+	Accesses      int64 // simulated memory references
+	Faults        int64 // total faults delivered to managers
+	MissingFaults int64
+	ProtFaults    int64
+	COWFaults     int64
+	ManagerCalls  int64 // fault deliveries + deletion notices (Table 3 col 1)
+	MigrateCalls  int64 // MigratePages invocations (Table 3 col 2)
+	MigratedPages int64
+	ModifyCalls   int64
+	GetAttrCalls  int64
+	TLBHits       int64
+	TLBMisses     int64
+	HashHits      int64
+	HashMisses    int64
+}
+
+// Kernel is the simulated V++ kernel.
+type Kernel struct {
+	mem    *phys.Memory
+	clock  *sim.Clock
+	cost   *sim.CostModel
+	cfg    Config
+	segs   map[SegID]*Segment
+	nextID SegID
+	table  *mappingTable
+	tlb    *tlb
+	// frameOwner records, for every physical frame, the segment that holds
+	// it — the ground truth for the frame-conservation invariant.
+	frameOwner []SegID
+	framePage  []int64
+	boot       *Segment
+	stats      Stats
+}
+
+// New boots a kernel over the given memory, clock and cost model. Following
+// §2.1, it creates the well-known segment holding all page frames in
+// physical-address order, restricted to privileged (system) credentials.
+func New(mem *phys.Memory, clock *sim.Clock, cost *sim.CostModel, cfg Config) *Kernel {
+	if cfg.TLBEntries <= 0 {
+		cfg.TLBEntries = 64
+	}
+	if cfg.MaxFaultRetries <= 0 {
+		cfg.MaxFaultRetries = 8
+	}
+	k := &Kernel{
+		mem:        mem,
+		clock:      clock,
+		cost:       cost,
+		cfg:        cfg,
+		segs:       make(map[SegID]*Segment),
+		nextID:     WellKnownPhysSegment,
+		table:      newMappingTable(),
+		tlb:        newTLB(cfg.TLBEntries),
+		frameOwner: make([]SegID, mem.NumFrames()),
+		framePage:  make([]int64, mem.NumFrames()),
+	}
+	boot := k.newSegment("physmem", 1)
+	boot.restricted = true
+	for pfn := 0; pfn < mem.NumFrames(); pfn++ {
+		f := mem.Frame(phys.PFN(pfn))
+		boot.pages[int64(pfn)] = &pageEntry{frames: []*phys.Frame{f}}
+		k.frameOwner[pfn] = boot.id
+		k.framePage[pfn] = int64(pfn)
+	}
+	k.boot = boot
+	return k
+}
+
+// Mem returns the machine's physical memory.
+func (k *Kernel) Mem() *phys.Memory { return k.mem }
+
+// Clock returns the virtual clock all costs are charged to.
+func (k *Kernel) Clock() *sim.Clock { return k.clock }
+
+// Cost returns the machine cost model.
+func (k *Kernel) Cost() *sim.CostModel { return k.cost }
+
+// Stats returns a snapshot of kernel activity counters.
+func (k *Kernel) Stats() Stats {
+	s := k.stats
+	s.TLBHits, s.TLBMisses = k.tlb.hits, k.tlb.misses
+	s.HashHits, s.HashMisses, _, _ = k.table.stats()
+	return s
+}
+
+// ResetStats zeroes the activity counters (not the mapping state).
+func (k *Kernel) ResetStats() {
+	k.stats = Stats{}
+	k.tlb.hits, k.tlb.misses = 0, 0
+	k.table.hits, k.table.misses, k.table.spills, k.table.drops = 0, 0, 0, 0
+}
+
+// BootSegment returns the well-known segment of all page frames.
+func (k *Kernel) BootSegment() *Segment { return k.boot }
+
+func (k *Kernel) newSegment(name string, framesPerPage int) *Segment {
+	s := &Segment{
+		id:       k.nextID,
+		name:     name,
+		pageSize: framesPerPage * k.mem.FrameSize(),
+		fpp:      framesPerPage,
+		pages:    make(map[int64]*pageEntry),
+		kernel:   k,
+	}
+	k.segs[s.id] = s
+	k.nextID++
+	return s
+}
+
+// CreateSegment creates an empty segment. framesPerPage selects the page
+// size as a multiple of the machine frame size (§2.1: "a parameter to the
+// segment creation call optionally specifies the page size"); pass 1 for
+// the base 4 KB page.
+func (k *Kernel) CreateSegment(name string, framesPerPage int) (*Segment, error) {
+	if framesPerPage < 1 || framesPerPage&(framesPerPage-1) != 0 {
+		return nil, fmt.Errorf("kernel: frames per page %d is not a positive power of two", framesPerPage)
+	}
+	k.clock.Advance(k.cost.KernelCall)
+	return k.newSegment(name, framesPerPage), nil
+}
+
+// Lookup returns the live segment with the given id.
+func (k *Kernel) Lookup(id SegID) (*Segment, error) {
+	s, ok := k.segs[id]
+	if !ok || s.deleted {
+		return nil, fmt.Errorf("%w: id %d", ErrNoSuchSegment, id)
+	}
+	return s, nil
+}
+
+// SetSegmentManager designates the manager module for a segment (§2.1).
+func (k *Kernel) SetSegmentManager(s *Segment, m Manager) {
+	k.clock.Advance(k.cost.KernelCall)
+	s.manager = m
+}
+
+// BindRegion associates pages [start, start+pages) of seg with
+// [targetStart, ...) of target (§2.1). With cow set, the binding is
+// copy-on-write: pages are effectively bound to the target until modified.
+func (k *Kernel) BindRegion(seg *Segment, start, pages int64, target *Segment, targetStart int64, cow bool) error {
+	k.clock.Advance(k.cost.KernelCall)
+	if pages <= 0 || start < 0 || targetStart < 0 {
+		return fmt.Errorf("%w: bind [%d,+%d)", ErrBadRange, start, pages)
+	}
+	if seg.deleted || target.deleted {
+		return ErrNoSuchSegment
+	}
+	if seg.fpp != target.fpp {
+		return fmt.Errorf("%w: bind across page sizes %d and %d", ErrPageSizeMismatch, seg.pageSize, target.pageSize)
+	}
+	return seg.addBinding(&binding{start: start, pages: pages, target: target, targetStart: targetStart, cow: cow})
+}
+
+// DeleteSegment removes a segment. The segment's manager is notified first
+// so it can reclaim the frames (§2.2: "the manager is also informed when a
+// segment it manages is closed or deleted"); any frames it leaves behind
+// return to the boot segment so no frame is ever orphaned.
+func (k *Kernel) DeleteSegment(cred Cred, s *Segment) error {
+	if s.restricted && !cred.Privileged {
+		return fmt.Errorf("%w: delete %s by %q", ErrNotPrivileged, s, cred.Name)
+	}
+	if s.deleted {
+		return ErrNoSuchSegment
+	}
+	k.clock.Advance(k.cost.KernelCall)
+	if s.manager != nil {
+		k.stats.ManagerCalls++
+		k.chargeDelivery(s.manager.Delivery())
+		s.manager.SegmentDeleted(s)
+	}
+	// Reclaim whatever the manager left.
+	for page, e := range s.pages {
+		for _, f := range e.frames {
+			k.boot.pages[int64(f.PFN())] = &pageEntry{frames: []*phys.Frame{f}}
+			k.frameOwner[f.PFN()] = k.boot.id
+			k.framePage[f.PFN()] = int64(f.PFN())
+		}
+		delete(s.pages, page)
+	}
+	s.deleted = true
+	delete(k.segs, s.id)
+	k.table.removeSegment(s.id)
+	k.tlb.invalidateSegment(s.id)
+	return nil
+}
+
+// checkRange validates that [page, page+n) is a sane range.
+func checkRange(s *Segment, page, n int64) error {
+	if n <= 0 || page < 0 {
+		return fmt.Errorf("%w: [%d,+%d) in %s", ErrBadRange, page, n, s)
+	}
+	return nil
+}
+
+// MigratePages moves n page frames from src starting at srcPage to dst
+// starting at dstPage, setting flags in set and clearing flags in clear on
+// each migrated page (§2.1). The operation is validated first and applied
+// all-or-nothing: every source page must be present and every destination
+// slot empty.
+func (k *Kernel) MigratePages(cred Cred, src, dst *Segment, srcPage, dstPage, n int64, set, clear PageFlags) error {
+	k.stats.MigrateCalls++
+	k.clock.Advance(k.cost.KernelCall)
+	if err := k.validateMigrate(cred, src, dst, srcPage, dstPage, n); err != nil {
+		return err
+	}
+	if src.fpp != dst.fpp {
+		return fmt.Errorf("%w: %s -> %s", ErrPageSizeMismatch, src, dst)
+	}
+	for i := int64(0); i < n; i++ {
+		if _, ok := src.pages[srcPage+i]; !ok {
+			return pageError(ErrPageNotPresent, src, srcPage+i)
+		}
+		if _, ok := dst.pages[dstPage+i]; ok {
+			return pageError(ErrPageBusy, dst, dstPage+i)
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		k.movePage(src, dst, srcPage+i, dstPage+i, set, clear)
+	}
+	return nil
+}
+
+func (k *Kernel) validateMigrate(cred Cred, src, dst *Segment, srcPage, dstPage, n int64) error {
+	if src.deleted || dst.deleted {
+		return ErrNoSuchSegment
+	}
+	if (src.restricted || dst.restricted) && !cred.Privileged {
+		return fmt.Errorf("%w: migrate %s -> %s by %q", ErrNotPrivileged, src, dst, cred.Name)
+	}
+	if err := checkRange(src, srcPage, n); err != nil {
+		return err
+	}
+	return checkRange(dst, dstPage, n)
+}
+
+// movePage transfers one page entry and charges the per-page cost.
+func (k *Kernel) movePage(src, dst *Segment, srcPage, dstPage int64, set, clear PageFlags) {
+	e := src.pages[srcPage]
+	delete(src.pages, srcPage)
+	e.flags = e.flags.Apply(set, clear)
+	dst.pages[dstPage] = e
+	for _, f := range e.frames {
+		k.frameOwner[f.PFN()] = dst.id
+		k.framePage[f.PFN()] = dstPage
+	}
+	srcKey := mapKey{src.id, srcPage}
+	dstKey := mapKey{dst.id, dstPage}
+	k.table.remove(srcKey)
+	k.tlb.invalidate(srcKey)
+	k.table.insert(dstKey, e)
+	// Prime the TLB for the destination: on a fault-driven migrate the
+	// kernel loads the translation for the faulting address before the
+	// application resumes, so the retried access does not miss again.
+	k.tlb.install(dstKey)
+	k.stats.MigratedPages++
+	k.clock.Advance(k.cost.MigratePage + k.cost.MappingUpdate)
+}
+
+// MigrateCoalesced forms n large pages in dst (frames-per-page F) from
+// n×F consecutive base pages of src (frames-per-page 1) starting at
+// srcPage. The source frames of each large page must be physically
+// contiguous — this is how the SPCM satisfies large-page allocations on
+// machines with multiple page sizes.
+func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage, n int64, set, clear PageFlags) error {
+	k.stats.MigrateCalls++
+	k.clock.Advance(k.cost.KernelCall)
+	if err := k.validateMigrate(cred, src, dst, srcPage, dstPage, n); err != nil {
+		return err
+	}
+	if src.fpp != 1 {
+		return fmt.Errorf("%w: coalesce source must use base pages", ErrPageSizeMismatch)
+	}
+	factor := int64(dst.fpp)
+	// Validate.
+	for i := int64(0); i < n; i++ {
+		if _, ok := dst.pages[dstPage+i]; ok {
+			return pageError(ErrPageBusy, dst, dstPage+i)
+		}
+		var prev phys.PFN
+		for j := int64(0); j < factor; j++ {
+			e, ok := src.pages[srcPage+i*factor+j]
+			if !ok {
+				return pageError(ErrPageNotPresent, src, srcPage+i*factor+j)
+			}
+			pfn := e.frames[0].PFN()
+			if j > 0 && pfn != prev+1 {
+				return pageError(ErrNotContiguous, src, srcPage+i*factor+j)
+			}
+			prev = pfn
+		}
+	}
+	// Apply.
+	for i := int64(0); i < n; i++ {
+		frames := make([]*phys.Frame, 0, factor)
+		var flags PageFlags
+		for j := int64(0); j < factor; j++ {
+			sp := srcPage + i*factor + j
+			e := src.pages[sp]
+			flags |= e.flags
+			frames = append(frames, e.frames...)
+			delete(src.pages, sp)
+			key := mapKey{src.id, sp}
+			k.table.remove(key)
+			k.tlb.invalidate(key)
+			k.clock.Advance(k.cost.MigratePage + k.cost.MappingUpdate)
+			k.stats.MigratedPages++
+		}
+		ne := &pageEntry{frames: frames, flags: flags.Apply(set, clear)}
+		dst.pages[dstPage+i] = ne
+		for _, f := range frames {
+			k.frameOwner[f.PFN()] = dst.id
+			k.framePage[f.PFN()] = dstPage + i
+		}
+		k.table.insert(mapKey{dst.id, dstPage + i}, ne)
+	}
+	return nil
+}
+
+// MigrateSplit is the inverse of MigrateCoalesced: n large pages of src
+// (frames-per-page F) become n×F base pages of dst (frames-per-page 1).
+func (k *Kernel) MigrateSplit(cred Cred, src, dst *Segment, srcPage, dstPage, n int64, set, clear PageFlags) error {
+	k.stats.MigrateCalls++
+	k.clock.Advance(k.cost.KernelCall)
+	if err := k.validateMigrate(cred, src, dst, srcPage, dstPage, n); err != nil {
+		return err
+	}
+	if dst.fpp != 1 {
+		return fmt.Errorf("%w: split destination must use base pages", ErrPageSizeMismatch)
+	}
+	factor := int64(src.fpp)
+	for i := int64(0); i < n; i++ {
+		if _, ok := src.pages[srcPage+i]; !ok {
+			return pageError(ErrPageNotPresent, src, srcPage+i)
+		}
+		for j := int64(0); j < factor; j++ {
+			if _, ok := dst.pages[dstPage+i*factor+j]; ok {
+				return pageError(ErrPageBusy, dst, dstPage+i*factor+j)
+			}
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		e := src.pages[srcPage+i]
+		delete(src.pages, srcPage+i)
+		key := mapKey{src.id, srcPage + i}
+		k.table.remove(key)
+		k.tlb.invalidate(key)
+		for j, f := range e.frames {
+			dp := dstPage + i*factor + int64(j)
+			ne := &pageEntry{frames: []*phys.Frame{f}, flags: e.flags.Apply(set, clear)}
+			dst.pages[dp] = ne
+			k.frameOwner[f.PFN()] = dst.id
+			k.framePage[f.PFN()] = dp
+			k.table.insert(mapKey{dst.id, dp}, ne)
+			k.clock.Advance(k.cost.MigratePage + k.cost.MappingUpdate)
+			k.stats.MigratedPages++
+		}
+	}
+	return nil
+}
+
+// ModifyPageFlags modifies the page flags of [page, page+n) without moving
+// the frames (§2.1). Pages without frames in the range are an error.
+func (k *Kernel) ModifyPageFlags(cred Cred, s *Segment, page, n int64, set, clear PageFlags) error {
+	k.stats.ModifyCalls++
+	k.clock.Advance(k.cost.KernelCall + k.cost.ModifyFlags)
+	if s.deleted {
+		return ErrNoSuchSegment
+	}
+	if s.restricted && !cred.Privileged {
+		return fmt.Errorf("%w: modify flags on %s by %q", ErrNotPrivileged, s, cred.Name)
+	}
+	if err := checkRange(s, page, n); err != nil {
+		return err
+	}
+	for i := int64(0); i < n; i++ {
+		if _, ok := s.pages[page+i]; !ok {
+			return pageError(ErrPageNotPresent, s, page+i)
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		e := s.pages[page+i]
+		e.flags = e.flags.Apply(set, clear)
+		// Cached translations may now be stale (e.g. protection tightened).
+		key := mapKey{s.id, page + i}
+		k.tlb.invalidate(key)
+		k.clock.Advance(k.cost.MappingUpdate)
+	}
+	return nil
+}
+
+// PageAttribute is one element of a GetPageAttributes result: the page
+// flags and the physical page-frame address (§2.1).
+type PageAttribute struct {
+	Page     int64
+	Present  bool
+	Flags    PageFlags
+	PFN      phys.PFN
+	PhysAddr int64
+	Color    int
+	Node     int
+}
+
+// GetPageAttributes returns the page flags and physical frame addresses of
+// [page, page+n) (§2.1). Missing pages are reported with Present false
+// rather than as errors, so managers can scan sparse segments.
+func (k *Kernel) GetPageAttributes(s *Segment, page, n int64) ([]PageAttribute, error) {
+	k.stats.GetAttrCalls++
+	k.clock.Advance(k.cost.KernelCall)
+	if s.deleted {
+		return nil, ErrNoSuchSegment
+	}
+	if err := checkRange(s, page, n); err != nil {
+		return nil, err
+	}
+	out := make([]PageAttribute, n)
+	for i := int64(0); i < n; i++ {
+		a := PageAttribute{Page: page + i, PFN: phys.NoFrame}
+		if e, ok := s.pages[page+i]; ok {
+			f := e.frames[0]
+			a.Present = true
+			a.Flags = e.flags
+			a.PFN = f.PFN()
+			a.PhysAddr = f.PhysAddr()
+			a.Color = f.Color()
+			a.Node = f.Node()
+		}
+		out[i] = a
+		k.clock.Advance(k.cost.MappingUpdate / 2)
+	}
+	return out, nil
+}
+
+// chargeDelivery charges the cost of transferring control to a manager.
+func (k *Kernel) chargeDelivery(d DeliveryMode) {
+	if d == DeliverSameProcess {
+		k.clock.Advance(k.cost.Upcall)
+	} else {
+		k.clock.Advance(k.cost.ContextSwitch)
+	}
+}
+
+// chargeReturn charges the cost of resuming the application after the
+// manager finishes.
+func (k *Kernel) chargeReturn(d DeliveryMode) {
+	if d == DeliverSameProcess {
+		// On the R3000 the manager resumes the application directly.
+		k.clock.Advance(k.cost.ResumeDirect)
+	} else {
+		// Reply IPC, then the kernel restores the faulting process and
+		// patches its translations.
+		k.clock.Advance(k.cost.ContextSwitch + k.cost.KernelCall +
+			k.cost.ResumeViaKernel + 2*k.cost.MappingUpdate)
+	}
+}
+
+// Access simulates one memory reference by an application: page `page` of
+// segment s with the given access type. It follows bound regions, consults
+// the TLB and mapping hash table, delivers faults to segment managers and
+// retries, charging virtual time for each step. On success the page's
+// Referenced (and, for writes, Dirty) flags are set.
+func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
+	k.stats.Accesses++
+	if s.deleted {
+		return ErrNoSuchSegment
+	}
+	if page < 0 {
+		return fmt.Errorf("%w: access page %d", ErrBadRange, page)
+	}
+	for attempt := 0; attempt <= k.cfg.MaxFaultRetries; attempt++ {
+		r, err := resolve(s, page)
+		if err != nil {
+			return err
+		}
+		if r.seg.deleted {
+			return ErrNoSuchSegment
+		}
+		e, present := r.seg.pages[r.page]
+		if !present {
+			if err := k.deliverFault(Fault{Seg: r.seg, Page: r.page, Access: access, Kind: FaultMissing}); err != nil {
+				return err
+			}
+			continue
+		}
+		if access == Write && r.cow {
+			// The reference crossed a copy-on-write binding: a private page
+			// must materialize in the front segment. The manager allocates
+			// it; the kernel performs the copy (§2.1).
+			if err := k.deliverFault(Fault{Seg: r.cowSeg, Page: r.cowPage, Access: access, Kind: FaultCopyOnWrite}); err != nil {
+				return err
+			}
+			ne, ok := r.cowSeg.pages[r.cowPage]
+			if !ok {
+				continue // manager did not materialize the page; re-fault
+			}
+			for i, f := range ne.frames {
+				if i < len(e.frames) {
+					k.clock.Advance(k.cost.CopyPage)
+					f.CopyFrom(e.frames[i])
+				}
+			}
+			ne.flags |= FlagDirty
+			continue // retry: resolution now finds the private page
+		}
+		need := FlagRead
+		if access == Write {
+			need = FlagWrite
+		}
+		if !e.flags.Has(need) {
+			if err := k.deliverFault(Fault{Seg: r.seg, Page: r.page, Access: access, Kind: FaultProtection}); err != nil {
+				return err
+			}
+			continue
+		}
+		// Translation lookup: TLB, then hash table, then structure walk.
+		key := mapKey{r.seg.id, r.page}
+		if !k.tlb.lookup(key) {
+			k.clock.Advance(k.cost.TLBFill)
+			if _, ok := k.table.lookup(key); !ok {
+				// Walk the segment and bound-region structures, then prime
+				// the hash table.
+				k.clock.Advance(2 * k.cost.MappingUpdate)
+				k.table.insert(key, e)
+			}
+			k.tlb.install(key)
+		}
+		e.flags |= FlagReferenced
+		if access == Write {
+			e.flags |= FlagDirty
+		}
+		return nil
+	}
+	return pageError(ErrFaultLoop, s, page)
+}
+
+// MarkAccessed updates a present page's Referenced (and, for writes, Dirty)
+// flags without charging any cost. It is the hook the kernel's own UIO block
+// interface uses when it touches cached-file pages on behalf of a process;
+// unlike ModifyPageFlags it is not a system call.
+func (k *Kernel) MarkAccessed(s *Segment, page int64, write bool) {
+	e, ok := s.pages[page]
+	if !ok {
+		return
+	}
+	e.flags |= FlagReferenced
+	if write {
+		e.flags |= FlagDirty
+	}
+}
+
+// FaultIn forces the fault path for a missing page exactly as a memory
+// reference would, without the translation-lookup bookkeeping. The UIO
+// block interface uses it when a file read or write touches a page with no
+// frame (§2.1: "a file read to a segment page that does not have an
+// associated page frame causes a page fault event to be communicated to the
+// manager of the segment, as for a regular page fault").
+func (k *Kernel) FaultIn(s *Segment, page int64, access AccessType) error {
+	if s.deleted {
+		return ErrNoSuchSegment
+	}
+	for attempt := 0; attempt <= k.cfg.MaxFaultRetries; attempt++ {
+		r, err := resolve(s, page)
+		if err != nil {
+			return err
+		}
+		if _, ok := r.seg.pages[r.page]; ok {
+			return nil
+		}
+		if err := k.deliverFault(Fault{Seg: r.seg, Page: r.page, Access: access, Kind: FaultMissing}); err != nil {
+			return err
+		}
+	}
+	return pageError(ErrFaultLoop, s, page)
+}
+
+// deliverFault transfers control to the owning segment's manager and back,
+// charging the delivery path.
+func (k *Kernel) deliverFault(f Fault) error {
+	m := f.Seg.manager
+	if m == nil {
+		return pageError(ErrNoManager, f.Seg, f.Page)
+	}
+	k.stats.Faults++
+	k.stats.ManagerCalls++
+	switch f.Kind {
+	case FaultMissing:
+		k.stats.MissingFaults++
+	case FaultProtection:
+		k.stats.ProtFaults++
+	case FaultCopyOnWrite:
+		k.stats.COWFaults++
+	}
+	k.clock.Advance(k.cost.Trap)
+	k.chargeDelivery(m.Delivery())
+	if err := m.HandleFault(f); err != nil {
+		return fmt.Errorf("%w: %q on %v: %w", ErrManagerFailed, m.ManagerName(), f, err)
+	}
+	k.chargeReturn(m.Delivery())
+	return nil
+}
+
+// CheckFrameConservation verifies the fundamental invariant of external
+// page-cache management: every physical frame is held by exactly one
+// segment, and the owner's page map agrees. It returns nil when consistent.
+// Tests and the property suite call this after every mutation sequence.
+func (k *Kernel) CheckFrameConservation() error {
+	// Every frame's recorded owner must exist and hold the frame at the
+	// recorded page.
+	for pfn := range k.frameOwner {
+		owner := k.frameOwner[pfn]
+		s, ok := k.segs[owner]
+		if !ok {
+			return fmt.Errorf("frame %d owned by missing segment %d", pfn, owner)
+		}
+		e, ok := s.pages[k.framePage[pfn]]
+		if !ok {
+			return fmt.Errorf("frame %d recorded at %s page %d, but page absent", pfn, s, k.framePage[pfn])
+		}
+		found := false
+		for _, f := range e.frames {
+			if int(f.PFN()) == pfn {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("frame %d recorded at %s page %d, but entry holds other frames", pfn, s, k.framePage[pfn])
+		}
+	}
+	// Conversely, every page entry's frames must point back.
+	seen := make(map[phys.PFN]SegID)
+	for _, s := range k.segs {
+		for page, e := range s.pages {
+			if len(e.frames) != s.fpp {
+				return fmt.Errorf("%s page %d holds %d frames, want %d", s, page, len(e.frames), s.fpp)
+			}
+			for _, f := range e.frames {
+				if prev, dup := seen[f.PFN()]; dup {
+					return fmt.Errorf("frame %d held by both segment %d and %d", f.PFN(), prev, s.id)
+				}
+				seen[f.PFN()] = s.id
+				if k.frameOwner[f.PFN()] != s.id {
+					return fmt.Errorf("frame %d in %s but recorded owner is %d", f.PFN(), s, k.frameOwner[f.PFN()])
+				}
+			}
+		}
+	}
+	if len(seen) != k.mem.NumFrames() {
+		return fmt.Errorf("%d frames accounted for, want %d", len(seen), k.mem.NumFrames())
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"epcm/internal/phys"
+)
+
+// SegID identifies a segment. IDs are never reused within one kernel.
+type SegID uint32
+
+// WellKnownPhysSegment is the identifier of the boot-time segment that
+// contains every page frame in the memory system in physical-address order
+// (§2.1: "On initialization, the kernel creates a segment identified by a
+// well-known segment identifier that includes all the page frames...").
+const WellKnownPhysSegment SegID = 1
+
+// pageEntry is the kernel's record of one page of a segment that currently
+// has one or more physical frames. A page spans frames[0..n) where n =
+// segment page size / machine frame size; n is 1 except in large-page
+// segments.
+type pageEntry struct {
+	frames []*phys.Frame
+	flags  PageFlags
+}
+
+// binding is one bound region (§2.1): addresses [start, start+pages) of the
+// binding segment refer to [targetStart, targetStart+pages) of the target
+// segment. A copy-on-write binding reads through to the target until the
+// binding segment acquires its own page.
+type binding struct {
+	start, pages int64
+	target       *Segment
+	targetStart  int64
+	cow          bool
+}
+
+func (b *binding) covers(page int64) bool {
+	return page >= b.start && page < b.start+b.pages
+}
+
+// Segment is a variable-size address range of zero or more pages (§2.1).
+// Segments are used for cached and mapped files, portions of program address
+// spaces, and program address spaces themselves.
+type Segment struct {
+	id       SegID
+	name     string
+	pageSize int // bytes; framesPerPage × machine frame size
+	fpp      int // frames per page
+	manager  Manager
+	pages    map[int64]*pageEntry
+	bindings []*binding // sorted by start
+	// restricted segments accept MigratePages/ModifyPageFlags/data access
+	// only from privileged credentials (the boot frame segment).
+	restricted bool
+	deleted    bool
+	kernel     *Kernel
+}
+
+// ID returns the segment identifier.
+func (s *Segment) ID() SegID { return s.id }
+
+// Name returns the segment's diagnostic name.
+func (s *Segment) Name() string { return s.name }
+
+// PageSize returns the segment's page size in bytes.
+func (s *Segment) PageSize() int { return s.pageSize }
+
+// FramesPerPage returns how many machine frames back one page.
+func (s *Segment) FramesPerPage() int { return s.fpp }
+
+// Manager returns the segment's manager, or nil.
+func (s *Segment) Manager() Manager { return s.manager }
+
+// Restricted reports whether the segment requires privileged credentials.
+func (s *Segment) Restricted() bool { return s.restricted }
+
+// PageCount returns the number of pages currently holding frames.
+func (s *Segment) PageCount() int { return len(s.pages) }
+
+// Pages returns the page numbers currently holding frames, sorted.
+// It allocates; intended for managers' sweep algorithms and tests.
+func (s *Segment) Pages() []int64 {
+	out := make([]int64, 0, len(s.pages))
+	for p := range s.pages {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasPage reports whether the segment holds a frame at page.
+func (s *Segment) HasPage(page int64) bool {
+	_, ok := s.pages[page]
+	return ok
+}
+
+// Flags returns the page's flags; ok is false if the page has no frame.
+func (s *Segment) Flags(page int64) (PageFlags, bool) {
+	e, ok := s.pages[page]
+	if !ok {
+		return 0, false
+	}
+	return e.flags, true
+}
+
+// findBinding returns the binding covering page, or nil.
+func (s *Segment) findBinding(page int64) *binding {
+	// Binary search over sorted, non-overlapping bindings.
+	lo, hi := 0, len(s.bindings)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		b := s.bindings[mid]
+		switch {
+		case page < b.start:
+			hi = mid
+		case page >= b.start+b.pages:
+			lo = mid + 1
+		default:
+			return b
+		}
+	}
+	return nil
+}
+
+// resolved is the outcome of resolving a (segment, page) reference through
+// bound regions to the segment that should supply the frame.
+type resolved struct {
+	seg  *Segment // owning segment after following bindings
+	page int64    // page within seg
+	cow  bool     // true if the reference crossed a copy-on-write binding
+	// cowSeg/cowPage identify the front segment and page where a private
+	// copy must materialize when cow && the access is a write.
+	cowSeg  *Segment
+	cowPage int64
+}
+
+// resolve follows bindings from (s, page) to the segment whose page entry
+// (present or not) backs the reference. The first copy-on-write binding
+// crossed is recorded: a write must stop there and materialize a private
+// page in the binding (front) segment.
+//
+// A present page in a binding segment shadows its bindings, which is what
+// makes a materialized COW page take precedence over the source.
+func resolve(s *Segment, page int64) (resolved, error) {
+	r := resolved{seg: s, page: page}
+	for depth := 0; ; depth++ {
+		if depth > 16 {
+			return r, fmt.Errorf("kernel: binding chain deeper than 16 at segment %q page %d", s.name, page)
+		}
+		if _, ok := r.seg.pages[r.page]; ok {
+			return r, nil
+		}
+		b := r.seg.findBinding(r.page)
+		if b == nil {
+			return r, nil // missing page in r.seg: fault target is r.seg
+		}
+		if b.cow && !r.cow {
+			r.cow = true
+			r.cowSeg = r.seg
+			r.cowPage = r.page
+		}
+		if b.target.fpp != r.seg.fpp {
+			return r, fmt.Errorf("kernel: binding crosses page sizes at segment %q page %d", r.seg.name, r.page)
+		}
+		r.page = b.targetStart + (r.page - b.start)
+		r.seg = b.target
+	}
+}
+
+// addBinding inserts a binding keeping the slice sorted; rejects overlap.
+func (s *Segment) addBinding(nb *binding) error {
+	for _, b := range s.bindings {
+		if nb.start < b.start+b.pages && b.start < nb.start+nb.pages {
+			return fmt.Errorf("%w: [%d,%d) vs [%d,%d) in segment %q",
+				ErrOverlap, nb.start, nb.start+nb.pages, b.start, b.start+b.pages, s.name)
+		}
+	}
+	s.bindings = append(s.bindings, nb)
+	sort.Slice(s.bindings, func(i, j int) bool { return s.bindings[i].start < s.bindings[j].start })
+	return nil
+}
+
+// FrameAt returns the first physical frame backing page, or nil. Managers
+// use it to fill page data in their free-page segments (which they have
+// mapped into their own address spaces).
+func (s *Segment) FrameAt(page int64) *phys.Frame {
+	e, ok := s.pages[page]
+	if !ok {
+		return nil
+	}
+	return e.frames[0]
+}
+
+// FramesAt returns all frames backing page (large pages span several), or
+// nil if the page is not present.
+func (s *Segment) FramesAt(page int64) []*phys.Frame {
+	e, ok := s.pages[page]
+	if !ok {
+		return nil
+	}
+	return e.frames
+}
+
+func (s *Segment) String() string {
+	return fmt.Sprintf("segment %q (id=%d, %d pages of %d bytes)", s.name, s.id, len(s.pages), s.pageSize)
+}

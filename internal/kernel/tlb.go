@@ -1,0 +1,68 @@
+package kernel
+
+// tlb models the R3000's 64-entry fully-associative TLB. The paper notes
+// that "simple TLB misses are handled by the kernel" — a miss that finds the
+// translation in the mapping hash table costs only a kernel refill; only a
+// true mapping miss escalates to the segment walk and, if the page is not
+// present, a fault to the manager.
+//
+// Replacement is round-robin, which is deterministic (the real R3000 used a
+// hardware random register; determinism matters more here than fidelity of
+// the replacement index distribution).
+type tlb struct {
+	entries []tlbEntry
+	next    int
+	hits    int64
+	misses  int64
+}
+
+type tlbEntry struct {
+	key   mapKey
+	valid bool
+}
+
+func newTLB(size int) *tlb {
+	return &tlb{entries: make([]tlbEntry, size)}
+}
+
+// lookup reports whether the translation for k is cached.
+func (t *tlb) lookup(k mapKey) bool {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].key == k {
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	return false
+}
+
+// install caches a translation, evicting round-robin.
+func (t *tlb) install(k mapKey) {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].key == k {
+			return
+		}
+	}
+	t.entries[t.next] = tlbEntry{key: k, valid: true}
+	t.next = (t.next + 1) % len(t.entries)
+}
+
+// invalidate removes a cached translation (page migrated, unmapped, or
+// protection changed).
+func (t *tlb) invalidate(k mapKey) {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].key == k {
+			t.entries[i].valid = false
+		}
+	}
+}
+
+// invalidateSegment flushes all translations of one segment.
+func (t *tlb) invalidateSegment(seg SegID) {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].key.seg == seg {
+			t.entries[i].valid = false
+		}
+	}
+}

@@ -1,0 +1,767 @@
+package manager
+
+import (
+	"errors"
+	"fmt"
+
+	"epcm/internal/kernel"
+	"epcm/internal/phys"
+)
+
+// ErrNoMemory reports that a fault could not be served: the free-page
+// segment is empty, the frame source granted nothing, and nothing could be
+// reclaimed.
+var ErrNoMemory = errors.New("manager: no page frames available")
+
+// FrameSource is where a manager obtains page frames beyond its initial
+// allocation and returns surplus ones — the System Page Cache Manager in a
+// full system (§2.4). It is an interface here so managers can also run from
+// a fixed pool in tests and small experiments.
+type FrameSource interface {
+	// RequestFrames migrates up to n frames satisfying the constraint into
+	// g's free-page segment (via g.ReceiveSlots / g.FramesGranted) and
+	// reports how many were granted. Zero with nil error means the request
+	// was refused or deferred.
+	RequestFrames(g *Generic, n int, constraint phys.Range) (int, error)
+	// ReturnFrames takes the frames at the given free-segment slots back.
+	ReturnFrames(g *Generic, slots []int64) error
+}
+
+// resKey identifies a resident page a manager placed.
+type resKey struct {
+	seg  *kernel.Segment
+	page int64
+}
+
+// freeSlot is one slot of the free-page segment that currently holds a
+// frame. A slot that was filled by reclaiming page `from` remembers it:
+// if the application re-faults that page before the frame is reused, the
+// manager migrates it straight back — no fill, no I/O (§2.2).
+type freeSlot struct {
+	slot int64
+	from *resKey // nil if the frame's contents are unassociated
+}
+
+// Stats counts a manager's activity.
+type Stats struct {
+	Faults       int64 // fault events delivered
+	Fills        int64 // pages filled from backing store
+	FastRefaults int64 // pages recovered from the free segment without I/O
+	Writebacks   int64 // dirty pages written to backing store on reclaim
+	Discards     int64 // dirty-but-discardable pages dropped without I/O
+	Reclaims     int64 // pages migrated back to the free segment
+	Grants       int64 // frames obtained from the frame source
+	Returns      int64 // frames returned to the frame source
+	MigrateCalls int64 // MigratePages invocations issued by this manager
+}
+
+// Config specializes a Generic manager. Only Name and Backing are
+// required; everything else has workable defaults.
+type Config struct {
+	// Name labels the manager.
+	Name string
+	// Delivery selects same-process or separate-process fault handling.
+	Delivery kernel.DeliveryMode
+	// Backing supplies and persists page data.
+	Backing Backing
+	// Source supplies frames beyond the initial pool; nil means the
+	// manager lives off its initial allocation and local reclamation.
+	Source FrameSource
+	// Fill, when set, replaces Backing.Fill on page-in — the paper's
+	// specializable "page fill routine". Returning ErrSkipFill means the
+	// frame's existing contents are intentional (e.g. regeneration).
+	Fill func(f kernel.Fault, frame *phys.Frame) error
+	// Constraint, when set, restricts which physical frames may serve a
+	// fault (page coloring, NUMA placement).
+	Constraint func(f kernel.Fault) phys.Range
+	// Protection, when set, replaces the default protection-fault handling
+	// (which simply enables the faulted access mode).
+	Protection func(f kernel.Fault) error
+	// SelectVictim, when set, replaces the clock's victim choice — the
+	// paper's specializable "page replacement selection routine". It
+	// receives the eligible resident pages (unpinned, constraint-admitted)
+	// and returns the index to evict, or -1 to decline. Referenced/Dirty
+	// flags in the candidates are fresh.
+	SelectVictim func(cands []Victim) int
+	// OnFault observes every fault after it is handled.
+	OnFault func(f kernel.Fault)
+	// MapFlags are the page flags set when a page is mapped in
+	// (default read+write).
+	MapFlags kernel.PageFlags
+	// IgnoreDiscardable disables the discardable-page optimization so its
+	// benefit can be measured (ablation).
+	IgnoreDiscardable bool
+	// RequestBatch is how many frames to ask the source for when the free
+	// list runs dry (default 8).
+	RequestBatch int
+}
+
+// Generic is the generic segment manager of §2.2. It maintains a free-page
+// segment, serves faults by migrating frames from it, reclaims frames with
+// a clock algorithm over the pages it has placed, and exchanges frames with
+// a FrameSource.
+type Generic struct {
+	k    *kernel.Kernel
+	cfg  Config
+	free *kernel.Segment
+
+	freeSlots  []freeSlot // slots holding frames, FIFO
+	emptySlots []int64    // slots without frames, available to receive
+	nextSlot   int64      // high-water mark for fresh slot numbers
+
+	resident  []resKey       // pages this manager has placed, clock order
+	resIdx    map[resKey]int // page -> index in resident
+	recallIdx map[resKey]int // reclaimed page -> index in freeSlots
+	hand      int            // clock hand
+
+	managed map[kernel.SegID]*kernel.Segment
+	stats   Stats
+	// freshOnly makes ReceiveSlots hand out brand-new consecutive slot
+	// numbers instead of recycling, so a grant forms a contiguous run.
+	freshOnly bool
+}
+
+var _ kernel.Manager = (*Generic)(nil)
+
+// ErrSkipFill may be returned by a Fill hook to indicate the page's
+// contents are already correct; the manager maps the page without counting
+// a fill.
+var ErrSkipFill = errors.New("manager: fill intentionally skipped")
+
+// NewGeneric creates a manager with its free-page segment. The pool starts
+// empty; seed it with a FrameSource or Kernel migrations plus Adopt.
+func NewGeneric(k *kernel.Kernel, cfg Config) (*Generic, error) {
+	if cfg.Name == "" {
+		cfg.Name = "generic-manager"
+	}
+	if cfg.Backing == nil {
+		cfg.Backing = ZeroFill{}
+	}
+	if cfg.MapFlags == 0 {
+		cfg.MapFlags = kernel.FlagRW
+	}
+	if cfg.RequestBatch <= 0 {
+		cfg.RequestBatch = 8
+	}
+	free, err := k.CreateSegment(cfg.Name+".free", 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Generic{
+		k:         k,
+		cfg:       cfg,
+		free:      free,
+		resIdx:    make(map[resKey]int),
+		recallIdx: make(map[resKey]int),
+		managed:   make(map[kernel.SegID]*kernel.Segment),
+	}, nil
+}
+
+// ManagerName implements kernel.Manager.
+func (g *Generic) ManagerName() string { return g.cfg.Name }
+
+// Delivery implements kernel.Manager.
+func (g *Generic) Delivery() kernel.DeliveryMode { return g.cfg.Delivery }
+
+// Kernel returns the kernel the manager operates on.
+func (g *Generic) Kernel() *kernel.Kernel { return g.k }
+
+// FreeSegment returns the manager's free-page segment.
+func (g *Generic) FreeSegment() *kernel.Segment { return g.free }
+
+// Backing returns the manager's backing store adapter.
+func (g *Generic) Backing() Backing { return g.cfg.Backing }
+
+// FreeFrames reports the number of frames in the free-page segment.
+func (g *Generic) FreeFrames() int { return len(g.freeSlots) }
+
+// ResidentPages reports how many pages the manager currently has placed.
+func (g *Generic) ResidentPages() int { return len(g.resident) }
+
+// Stats returns a snapshot of activity counters.
+func (g *Generic) Stats() Stats { return g.stats }
+
+// ResetStats zeroes the activity counters (bookkeeping state is kept).
+func (g *Generic) ResetStats() { g.stats = Stats{} }
+
+// Manage registers the manager as a segment's manager.
+func (g *Generic) Manage(seg *kernel.Segment) {
+	g.k.SetSegmentManager(seg, g)
+	g.managed[seg.ID()] = seg
+}
+
+// CreateManagedSegment creates a segment and manages it.
+func (g *Generic) CreateManagedSegment(name string) (*kernel.Segment, error) {
+	seg, err := g.k.CreateSegment(name, 1)
+	if err != nil {
+		return nil, err
+	}
+	g.Manage(seg)
+	return seg, nil
+}
+
+// ReceiveSlots reserves n empty slots in the free-page segment for a frame
+// source to migrate frames into. Call FramesGranted after the migration.
+func (g *Generic) ReceiveSlots(n int) []int64 {
+	out := make([]int64, 0, n)
+	for !g.freshOnly && len(out) < n && len(g.emptySlots) > 0 {
+		out = append(out, g.emptySlots[len(g.emptySlots)-1])
+		g.emptySlots = g.emptySlots[:len(g.emptySlots)-1]
+	}
+	for len(out) < n {
+		out = append(out, g.nextSlot)
+		g.nextSlot++
+	}
+	return out
+}
+
+// FramesGranted records that frames now occupy the given slots (after a
+// frame source migrated them in).
+func (g *Generic) FramesGranted(slots []int64) {
+	for _, s := range slots {
+		if !g.free.HasPage(s) {
+			panic(fmt.Sprintf("manager %s: FramesGranted slot %d has no frame", g.cfg.Name, s))
+		}
+		g.freeSlots = append(g.freeSlots, freeSlot{slot: s})
+		g.stats.Grants++
+	}
+}
+
+// Adopt scans the free-page segment for frames migrated in directly (by
+// tests or privileged setup code) and adds them to the free list.
+func (g *Generic) Adopt() {
+	known := make(map[int64]bool)
+	for _, fs := range g.freeSlots {
+		known[fs.slot] = true
+	}
+	for _, p := range g.free.Pages() {
+		if !known[p] {
+			g.freeSlots = append(g.freeSlots, freeSlot{slot: p})
+			if p >= g.nextSlot {
+				g.nextSlot = p + 1
+			}
+		}
+	}
+}
+
+// HandleFault implements kernel.Manager.
+func (g *Generic) HandleFault(f kernel.Fault) error {
+	g.stats.Faults++
+	var err error
+	switch f.Kind {
+	case kernel.FaultProtection:
+		if g.cfg.Protection != nil {
+			err = g.cfg.Protection(f)
+		} else {
+			need := kernel.FlagRead
+			if f.Access == kernel.Write {
+				need = kernel.FlagWrite
+			}
+			err = g.k.ModifyPageFlags(kernel.AppCred, f.Seg, f.Page, 1, need, 0)
+		}
+	case kernel.FaultMissing, kernel.FaultCopyOnWrite:
+		err = g.PageIn(f)
+	default:
+		err = fmt.Errorf("manager %s: unknown fault kind %v", g.cfg.Name, f.Kind)
+	}
+	if err == nil && g.cfg.OnFault != nil {
+		g.cfg.OnFault(f)
+	}
+	return err
+}
+
+// PageIn serves a missing-page or copy-on-write fault: allocate a frame
+// from the free-page segment (requesting or reclaiming as needed), fill it,
+// and migrate it to the faulting page. It is exported so managers built on
+// Generic (e.g. the default manager's multi-page append allocation) can
+// drive it directly.
+func (g *Generic) PageIn(f kernel.Fault) error {
+	key := resKey{seg: f.Seg, page: f.Page}
+	// Fast re-fault: the page was reclaimed but its frame not yet reused —
+	// migrate it straight back (§2.2).
+	if i, ok := g.recallIdx[key]; ok && f.Kind == kernel.FaultMissing {
+		fs := g.freeSlots[i]
+		g.stats.MigrateCalls++
+		if err := g.k.MigratePages(kernel.AppCred, g.free, f.Seg, fs.slot, f.Page, 1, g.cfg.MapFlags, kernel.FlagReferenced|kernel.FlagDirty); err != nil {
+			return err
+		}
+		g.removeFreeSlotAt(i)
+		g.emptySlots = append(g.emptySlots, fs.slot)
+		g.addResident(key)
+		g.stats.FastRefaults++
+		return nil
+	}
+
+	var constraint phys.Range
+	if g.cfg.Constraint != nil {
+		constraint = g.cfg.Constraint(f)
+	} else {
+		constraint = phys.AnyFrame()
+	}
+	slotIdx, err := g.allocSlot(constraint)
+	if err != nil {
+		return err
+	}
+	fs := g.freeSlots[slotIdx]
+
+	// Fill the frame while it is still in the free segment (the manager
+	// has the free segment mapped into its own address space, §2.2).
+	if f.Kind == kernel.FaultMissing {
+		frame := g.free.FrameAt(fs.slot)
+		fillErr := error(nil)
+		if g.cfg.Fill != nil {
+			fillErr = g.cfg.Fill(f, frame)
+		} else {
+			fillErr = g.cfg.Backing.Fill(f.Seg, f.Page, frame)
+		}
+		switch {
+		case fillErr == nil:
+			g.stats.Fills++
+		case errors.Is(fillErr, ErrSkipFill):
+			// Contents intentionally left as they are.
+		default:
+			return fillErr
+		}
+	}
+	// For a COW fault the kernel copies the source contents after this
+	// migrate (§2.1), so no fill happens here.
+
+	g.stats.MigrateCalls++
+	if err := g.k.MigratePages(kernel.AppCred, g.free, f.Seg, fs.slot, f.Page, 1, g.cfg.MapFlags, kernel.FlagReferenced|kernel.FlagDirty); err != nil {
+		return err
+	}
+	g.removeFreeSlotAt(slotIdx)
+	g.emptySlots = append(g.emptySlots, fs.slot)
+	g.addResident(key)
+	return nil
+}
+
+// allocSlot picks a free slot whose frame satisfies the constraint,
+// requesting more frames or reclaiming if necessary.
+func (g *Generic) allocSlot(constraint phys.Range) (int, error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		// Prefer unassociated frames; break associations only if needed.
+		best := -1
+		for i, fs := range g.freeSlots {
+			frame := g.free.FrameAt(fs.slot)
+			if !constraint.Admits(frame) {
+				continue
+			}
+			if fs.from == nil {
+				best = i
+				break
+			}
+			if best == -1 {
+				best = i
+			}
+		}
+		if best >= 0 {
+			if fs := g.freeSlots[best]; fs.from != nil {
+				delete(g.recallIdx, *fs.from)
+				g.freeSlots[best].from = nil
+			}
+			return best, nil
+		}
+		// Try the frame source, then local reclamation.
+		if g.cfg.Source != nil {
+			granted, err := g.cfg.Source.RequestFrames(g, g.cfg.RequestBatch, constraint)
+			if err != nil {
+				return -1, err
+			}
+			if granted > 0 {
+				continue
+			}
+		}
+		n, err := g.Reclaim(g.cfg.RequestBatch, constraint)
+		if err != nil {
+			return -1, err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	return -1, fmt.Errorf("%w (manager %s, constraint %v)", ErrNoMemory, g.cfg.Name, constraint)
+}
+
+func (g *Generic) removeFreeSlotAt(i int) {
+	fs := g.freeSlots[i]
+	if fs.from != nil {
+		delete(g.recallIdx, *fs.from)
+	}
+	last := len(g.freeSlots) - 1
+	g.freeSlots[i] = g.freeSlots[last]
+	g.freeSlots = g.freeSlots[:last]
+	if i < len(g.freeSlots) {
+		if moved := g.freeSlots[i].from; moved != nil {
+			g.recallIdx[*moved] = i
+		}
+	}
+}
+
+func (g *Generic) addResident(key resKey) {
+	g.resIdx[key] = len(g.resident)
+	g.resident = append(g.resident, key)
+}
+
+func (g *Generic) removeResident(key resKey) {
+	i, ok := g.resIdx[key]
+	if !ok {
+		return
+	}
+	last := len(g.resident) - 1
+	g.resident[i] = g.resident[last]
+	g.resident = g.resident[:last]
+	delete(g.resIdx, key)
+	if i < len(g.resident) {
+		g.resIdx[g.resident[i]] = i
+	}
+	if g.hand > last {
+		g.hand = 0
+	}
+}
+
+// Victim describes one eviction candidate for a SelectVictim policy.
+type Victim struct {
+	Seg   *kernel.Segment
+	Page  int64
+	Flags kernel.PageFlags
+}
+
+// Reclaim reclaims until n frames satisfying the constraint have been
+// migrated back to the free-page segment. With a SelectVictim policy
+// installed, that policy picks every victim; otherwise the clock algorithm
+// of §2.2 runs: referenced pages get a second chance (their Referenced flag
+// is cleared), pinned pages are skipped, and dirty pages are written back
+// unless marked discardable. It returns the number reclaimed.
+func (g *Generic) Reclaim(n int, constraint phys.Range) (int, error) {
+	if g.cfg.SelectVictim != nil {
+		return g.reclaimByPolicy(n, constraint)
+	}
+	return g.reclaimClock(n, constraint)
+}
+
+// reclaimByPolicy drives the specialized victim-selection routine.
+func (g *Generic) reclaimByPolicy(n int, constraint phys.Range) (int, error) {
+	reclaimed := 0
+	for reclaimed < n {
+		cands := make([]Victim, 0, len(g.resident))
+		for _, key := range g.resident {
+			flags, ok := key.seg.Flags(key.page)
+			if !ok || flags.Has(kernel.FlagPinned) {
+				continue
+			}
+			if !constraint.Admits(key.seg.FrameAt(key.page)) {
+				continue
+			}
+			cands = append(cands, Victim{Seg: key.seg, Page: key.page, Flags: flags})
+		}
+		if len(cands) == 0 {
+			return reclaimed, nil
+		}
+		idx := g.cfg.SelectVictim(cands)
+		if idx < 0 || idx >= len(cands) {
+			return reclaimed, nil
+		}
+		v := cands[idx]
+		if err := g.evict(resKey{seg: v.Seg, page: v.Page}, v.Flags); err != nil {
+			return reclaimed, err
+		}
+		reclaimed++
+	}
+	return reclaimed, nil
+}
+
+// reclaimClock is the default clock algorithm.
+func (g *Generic) reclaimClock(n int, constraint phys.Range) (int, error) {
+	reclaimed := 0
+	sweeps := 2 * len(g.resident)
+	for step := 0; step < sweeps && reclaimed < n && len(g.resident) > 0; step++ {
+		if g.hand >= len(g.resident) {
+			g.hand = 0
+		}
+		key := g.resident[g.hand]
+		attrs, err := g.k.GetPageAttributes(key.seg, key.page, 1)
+		if err != nil {
+			return reclaimed, err
+		}
+		a := attrs[0]
+		if !a.Present {
+			// The page left this manager's control (e.g. application
+			// migrated it); forget it.
+			g.removeResident(key)
+			continue
+		}
+		if a.Flags.Has(kernel.FlagPinned) {
+			g.hand++
+			continue
+		}
+		frame := key.seg.FrameAt(key.page)
+		if !constraint.Admits(frame) {
+			g.hand++
+			continue
+		}
+		if a.Flags.Has(kernel.FlagReferenced) {
+			// Second chance.
+			if err := g.k.ModifyPageFlags(kernel.AppCred, key.seg, key.page, 1, 0, kernel.FlagReferenced); err != nil {
+				return reclaimed, err
+			}
+			g.hand++
+			continue
+		}
+		if err := g.evict(key, a.Flags); err != nil {
+			return reclaimed, err
+		}
+		reclaimed++
+	}
+	return reclaimed, nil
+}
+
+// evict writes back (or discards) one page and migrates its frame to the
+// free segment, remembering the association for fast re-fault. A discarded
+// page keeps no association: its contents are dead, so a re-fault must go
+// back through the fill path.
+func (g *Generic) evict(key resKey, flags kernel.PageFlags) error {
+	discarded := false
+	if flags.Has(kernel.FlagDirty) {
+		if flags.Has(kernel.FlagDiscardable) && !g.cfg.IgnoreDiscardable {
+			g.stats.Discards++
+			discarded = true
+		} else {
+			if err := g.cfg.Backing.Writeback(key.seg, key.page, key.seg.FrameAt(key.page)); err != nil {
+				return err
+			}
+			g.stats.Writebacks++
+		}
+	}
+	slots := g.ReceiveSlots(1)
+	g.stats.MigrateCalls++
+	if err := g.k.MigratePages(kernel.AppCred, key.seg, g.free, key.page, slots[0], 1, 0,
+		kernel.FlagRW|kernel.FlagDirty|kernel.FlagReferenced|kernel.FlagDiscardable); err != nil {
+		return err
+	}
+	g.removeResident(key)
+	if discarded {
+		g.freeSlots = append(g.freeSlots, freeSlot{slot: slots[0]})
+	} else {
+		from := key
+		g.freeSlots = append(g.freeSlots, freeSlot{slot: slots[0], from: &from})
+		g.recallIdx[from] = len(g.freeSlots) - 1
+	}
+	g.stats.Reclaims++
+	return nil
+}
+
+// EvictPage forcibly reclaims one specific page (writeback/discard rules as
+// in Reclaim, without reference checks). Application-specific managers use
+// it for policies like whole-structure discards.
+func (g *Generic) EvictPage(seg *kernel.Segment, page int64) error {
+	key := resKey{seg: seg, page: page}
+	if _, ok := g.resIdx[key]; !ok {
+		return fmt.Errorf("manager %s: page %d of %v not resident", g.cfg.Name, page, seg)
+	}
+	flags, _ := seg.Flags(page)
+	return g.evict(key, flags)
+}
+
+// ReturnFreeFrames gives up to n unassociated free frames back to the frame
+// source, reporting how many were returned.
+func (g *Generic) ReturnFreeFrames(n int) (int, error) {
+	if g.cfg.Source == nil {
+		return 0, nil
+	}
+	var slots []int64
+	for i := 0; i < len(g.freeSlots) && len(slots) < n; {
+		if g.freeSlots[i].from == nil {
+			slots = append(slots, g.freeSlots[i].slot)
+			g.removeFreeSlotAt(i)
+			continue // removeFreeSlotAt swapped a new element into i
+		}
+		i++
+	}
+	// If unassociated frames were not enough, break associations.
+	for i := 0; i < len(g.freeSlots) && len(slots) < n; {
+		slots = append(slots, g.freeSlots[i].slot)
+		g.removeFreeSlotAt(i)
+	}
+	if len(slots) == 0 {
+		return 0, nil
+	}
+	if err := g.cfg.Source.ReturnFrames(g, slots); err != nil {
+		return 0, err
+	}
+	for _, s := range slots {
+		g.emptySlots = append(g.emptySlots, s)
+	}
+	g.stats.Returns += int64(len(slots))
+	return len(slots), nil
+}
+
+// SegmentDeleted implements kernel.Manager: reclaim all frames of the
+// segment into the free list, unassociated (the data is dead).
+func (g *Generic) SegmentDeleted(s *kernel.Segment) {
+	for _, p := range s.Pages() {
+		slots := g.ReceiveSlots(1)
+		g.stats.MigrateCalls++
+		if err := g.k.MigratePages(kernel.AppCred, s, g.free, p, slots[0], 1, 0,
+			kernel.FlagRW|kernel.FlagDirty|kernel.FlagReferenced); err != nil {
+			// The kernel will sweep anything we leave; nothing to do.
+			continue
+		}
+		g.removeResident(resKey{seg: s, page: p})
+		g.freeSlots = append(g.freeSlots, freeSlot{slot: slots[0]})
+	}
+	delete(g.managed, s.ID())
+}
+
+// DropSegmentPages evicts every resident page of one segment without
+// deleting the segment — the "delete whole segments of temporary data"
+// policy of §2.2, and the index-discard move of the database experiment.
+// Dirty pages follow the usual writeback/discard rules.
+func (g *Generic) DropSegmentPages(seg *kernel.Segment) error {
+	for _, p := range seg.Pages() {
+		key := resKey{seg: seg, page: p}
+		if _, ok := g.resIdx[key]; !ok {
+			continue
+		}
+		flags, _ := seg.Flags(p)
+		if err := g.evict(key, flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnsureFree tries to bring the count of unassociated free frames up to n
+// by asking the frame source and then reclaiming. It is best-effort: the
+// caller must still handle allocation failure.
+func (g *Generic) EnsureFree(n int) error {
+	have := func() int {
+		c := 0
+		for _, fs := range g.freeSlots {
+			if fs.from == nil {
+				c++
+			}
+		}
+		return c
+	}
+	if have() >= n {
+		return nil
+	}
+	if g.cfg.Source != nil {
+		want := n - have()
+		if want < g.cfg.RequestBatch {
+			want = g.cfg.RequestBatch
+		}
+		if _, err := g.cfg.Source.RequestFrames(g, want, phys.AnyFrame()); err != nil {
+			return err
+		}
+	}
+	if have() >= n {
+		return nil
+	}
+	// Break fast-refault associations before reclaiming more.
+	for i := range g.freeSlots {
+		if have() >= n {
+			return nil
+		}
+		if fs := g.freeSlots[i]; fs.from != nil {
+			delete(g.recallIdx, *fs.from)
+			g.freeSlots[i].from = nil
+		}
+	}
+	if have() >= n {
+		return nil
+	}
+	_, err := g.Reclaim(n-have(), phys.AnyFrame())
+	return err
+}
+
+// RequestFreshRun asks the frame source for n frames delivered into
+// brand-new consecutive free-segment slots, guaranteeing a contiguous slot
+// run for PageInContiguous regardless of how fragmented the recycled slot
+// space is. It reports how many frames were granted.
+func (g *Generic) RequestFreshRun(n int) (int, error) {
+	if g.cfg.Source == nil {
+		return 0, nil
+	}
+	g.freshOnly = true
+	defer func() { g.freshOnly = false }()
+	return g.cfg.Source.RequestFrames(g, n, phys.AnyFrame())
+}
+
+// PageInContiguous serves a run of n missing pages [startPage, startPage+n)
+// of seg with a single MigratePages invocation, when the free-page segment
+// holds n frames at consecutive slot numbers — the default manager's 16 KB
+// append allocation maps four pages with one kernel operation. When no
+// contiguous slot run exists it reports handled=false without side effects,
+// and the caller falls back to per-page PageIn.
+func (g *Generic) PageInContiguous(seg *kernel.Segment, startPage, n int64) (bool, error) {
+	if n <= 1 {
+		return false, nil
+	}
+	// Index unassociated free slots by slot number.
+	bySlot := make(map[int64]int, len(g.freeSlots))
+	for i, fs := range g.freeSlots {
+		if fs.from == nil {
+			bySlot[fs.slot] = i
+		}
+	}
+	start := int64(-1)
+	for slot := range bySlot {
+		run := int64(1)
+		for run < n {
+			if _, ok := bySlot[slot+run]; !ok {
+				break
+			}
+			run++
+		}
+		if run == n {
+			start = slot
+			break
+		}
+	}
+	if start < 0 {
+		return false, nil
+	}
+	for i := int64(0); i < n; i++ {
+		if seg.HasPage(startPage + i) {
+			return false, nil
+		}
+	}
+	g.stats.MigrateCalls++
+	if err := g.k.MigratePages(kernel.AppCred, g.free, seg, start, startPage, n,
+		g.cfg.MapFlags, kernel.FlagReferenced|kernel.FlagDirty); err != nil {
+		return false, err
+	}
+	// Update bookkeeping: remove the consumed slots, record residency.
+	for i := int64(0); i < n; i++ {
+		g.removeFreeSlotAt(bySlot[start+i])
+		// Re-index: removeFreeSlotAt swaps elements around.
+		bySlot = make(map[int64]int, len(g.freeSlots))
+		for j, fs := range g.freeSlots {
+			if fs.from == nil {
+				bySlot[fs.slot] = j
+			}
+		}
+		g.emptySlots = append(g.emptySlots, start+i)
+		g.addResident(resKey{seg: seg, page: startPage + i})
+	}
+	return true, nil
+}
+
+// MRUVictim is the classic database scan-replacement policy: evict the
+// most recently used page (the highest-numbered resident page here, since
+// scans proceed in page order). For cyclic sequential scans larger than
+// memory it is dramatically better than LRU/clock — which evicts exactly
+// the page the scan will want next — and it is precisely the kind of
+// application knowledge the paper argues only the application's own
+// manager can apply.
+func MRUVictim(cands []Victim) int {
+	best := -1
+	for i, c := range cands {
+		if best < 0 || c.Page > cands[best].Page {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,264 @@
+package manager
+
+import (
+	"testing"
+
+	"epcm/internal/kernel"
+	"epcm/internal/phys"
+)
+
+func newMultiPoolFixture(t *testing.T) (*fixture, *MultiPool) {
+	t.Helper()
+	fx := newFixture(t, 96)
+	mp := NewMultiPool(fx.k, "dbms-manager")
+	for _, pool := range []string{"relations", "indices", "views"} {
+		if _, err := mp.AddPool(pool, Config{Source: fx.pool, Backing: NewSwapBacking(fx.store)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fx, mp
+}
+
+func TestMultiPoolRoutesFaultsByPool(t *testing.T) {
+	fx, mp := newMultiPoolFixture(t)
+	rel, err := mp.CreateManagedSegment("accounts", "relations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := mp.CreateManagedSegment("accounts-index", "indices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := int64(0); p < 6; p++ {
+		if err := fx.k.Access(rel, p, kernel.Write); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := int64(0); p < 3; p++ {
+		if err := fx.k.Access(idx, p, kernel.Write); err != nil {
+			t.Fatal(err)
+		}
+	}
+	relPool, _ := mp.Pool("relations")
+	idxPool, _ := mp.Pool("indices")
+	if relPool.ResidentPages() != 6 || idxPool.ResidentPages() != 3 {
+		t.Fatalf("pool residency wrong: %d / %d", relPool.ResidentPages(), idxPool.ResidentPages())
+	}
+	usage := mp.Usage()
+	if usage["relations"] < 6 || usage["indices"] < 3 {
+		t.Fatalf("usage = %v", usage)
+	}
+	if err := fx.k.CheckFrameConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPoolRejectsUnknownPoolAndDuplicate(t *testing.T) {
+	fx, mp := newMultiPoolFixture(t)
+	if _, err := mp.CreateManagedSegment("x", "no-such-pool"); err == nil {
+		t.Fatal("unknown pool accepted")
+	}
+	if _, err := mp.AddPool("relations", Config{Source: fx.pool}); err == nil {
+		t.Fatal("duplicate pool accepted")
+	}
+	seg, _ := fx.k.CreateSegment("orphan", 1)
+	fx.k.SetSegmentManager(seg, mp)
+	if err := fx.k.Access(seg, 0, kernel.Read); err == nil {
+		t.Fatal("fault on un-pooled segment should fail")
+	}
+}
+
+// When the shared source runs dry, a starving pool steals from scratch
+// pools first — the paper's "steal from these scratch areas" policy.
+func TestMultiPoolStealsFromScratchFirst(t *testing.T) {
+	fx := newFixture(t, 24)
+	mp := NewMultiPool(fx.k, "dbms")
+	if _, err := mp.AddPool("relations", Config{Source: fx.pool, Backing: NewSwapBacking(fx.store), RequestBatch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.AddPool("scratch", Config{Source: fx.pool, Backing: NewSwapBacking(fx.store), RequestBatch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	mp.MarkScratch("scratch")
+
+	scratchSeg, err := mp.CreateManagedSegment("temp-index", "scratch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relSeg, err := mp.CreateManagedSegment("accounts", "relations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scratch pool soaks up most of the machine.
+	for p := int64(0); p < 18; p++ {
+		if err := fx.k.Access(scratchSeg, p, kernel.Write); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scratch contents are regenerable.
+	if err := fx.k.ModifyPageFlags(kernel.AppCred, scratchSeg, 0, 18,
+		kernel.FlagDiscardable, kernel.FlagReferenced); err != nil {
+		t.Fatal(err)
+	}
+	// Now the relations pool needs memory the source no longer has.
+	writes := fx.store.Writes()
+	for p := int64(0); p < 12; p++ {
+		if err := fx.k.Access(relSeg, p, kernel.Write); err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+	}
+	scratchPool, _ := mp.Pool("scratch")
+	if scratchPool.Stats().Reclaims == 0 {
+		t.Fatal("scratch pool was never stolen from")
+	}
+	if fx.store.Writes() != writes {
+		t.Fatal("stealing discardable scratch pages caused writeback I/O")
+	}
+	if err := fx.k.CheckFrameConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPoolSegmentDeleted(t *testing.T) {
+	fx, mp := newMultiPoolFixture(t)
+	seg, err := mp.CreateManagedSegment("view-1", "views")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := int64(0); p < 4; p++ {
+		if err := fx.k.Access(seg, p, kernel.Write); err != nil {
+			t.Fatal(err)
+		}
+	}
+	viewPool, _ := mp.Pool("views")
+	before := viewPool.FreeFrames()
+	if err := fx.k.DeleteSegment(kernel.AppCred, seg); err != nil {
+		t.Fatal(err)
+	}
+	if viewPool.FreeFrames() != before+4 {
+		t.Fatal("deleted segment's frames not recovered by its pool")
+	}
+	if err := fx.k.CheckFrameConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPoolPerPoolConstraints(t *testing.T) {
+	// Different pools can carry different physical constraints — e.g. an
+	// index pool on node 1 of a DASH machine, relations anywhere.
+	fx := newFixture(t, 8)
+	pool, err := NewFixedPool(fx.k, 128, 192) // spans both nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := NewMultiPool(fx.k, "dash-dbms")
+	if _, err := mp.AddPool("relations", Config{Source: pool}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.AddPool("indices", Config{
+		Source: pool,
+		Constraint: func(f kernel.Fault) phys.Range {
+			return phys.Range{Color: phys.ColorAny, Node: 1}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := mp.CreateManagedSegment("hot-index", "indices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := int64(0); p < 4; p++ {
+		if err := fx.k.Access(idx, p, kernel.Write); err != nil {
+			t.Fatal(err)
+		}
+		if idx.FrameAt(p).Node() != 1 {
+			t.Fatalf("index page %d on node %d", p, idx.FrameAt(p).Node())
+		}
+	}
+}
+
+func TestSelfManagementBootstrap(t *testing.T) {
+	fx := newFixture(t, 64)
+	// The manager's code and data start under a previous (default-ish)
+	// manager.
+	prev := fx.newManager(t, Config{Name: "default"})
+	code, _ := prev.CreateManagedSegment("mgr-code")
+	data, _ := prev.CreateManagedSegment("mgr-data")
+
+	self := fx.newManager(t, Config{Name: "self"})
+	if err := self.AssumeManagement([]*kernel.Segment{code, data}, []int64{4, 2}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if code.Manager() != self || data.Manager() != self {
+		t.Fatal("ownership not transferred")
+	}
+	// All pages resident and pinned.
+	for p := int64(0); p < 4; p++ {
+		flags, ok := code.Flags(p)
+		if !ok || !flags.Has(kernel.FlagPinned) {
+			t.Fatalf("code page %d not pinned-resident", p)
+		}
+	}
+	// Pinned pages are excluded from the manager's own reclamation.
+	if n, err := self.Reclaim(6, phys.AnyFrame()); err != nil || n != 0 {
+		t.Fatalf("reclaimed %d pinned pages (err %v)", n, err)
+	}
+	if err := fx.k.CheckFrameConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// If the previous manager keeps stealing a page back between the touch and
+// the takeover, the bootstrap retries and eventually succeeds (or bounds
+// out). We simulate the race by evicting a page during the first attempts.
+func TestSelfManagementRetriesOnRace(t *testing.T) {
+	fx := newFixture(t, 64)
+	prev := fx.newManager(t, Config{Name: "default"})
+	code, _ := prev.CreateManagedSegment("mgr-code")
+	// Prime residency, then evict page 0 so the first takeover attempt
+	// finds it missing. The eviction leaves a fast-refault association, so
+	// attempt 2's touch restores it and succeeds.
+	for p := int64(0); p < 3; p++ {
+		if err := fx.k.Access(code, p, kernel.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fx.k.ModifyPageFlags(kernel.AppCred, code, 0, 1, 0, kernel.FlagReferenced); err != nil {
+		t.Fatal(err)
+	}
+	raced := false
+	self := fx.newManager(t, Config{Name: "self"})
+	// Hook the race by wrapping the previous manager's eviction into the
+	// sequence: evict after the first touchAll by doing it now — the first
+	// verification then fails and the protocol retries.
+	if err := prev.EvictPage(code, 0); err != nil {
+		t.Fatal(err)
+	}
+	raced = true
+	if err := self.AssumeManagement([]*kernel.Segment{code}, []int64{3}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !raced || code.Manager() != self || !code.HasPage(0) {
+		t.Fatal("bootstrap did not recover from the race")
+	}
+}
+
+func TestReleaseManagementReturnsToDefault(t *testing.T) {
+	fx := newFixture(t, 64)
+	prev := fx.newManager(t, Config{Name: "default"})
+	code, _ := prev.CreateManagedSegment("mgr-code")
+	self := fx.newManager(t, Config{Name: "self"})
+	if err := self.AssumeManagement([]*kernel.Segment{code}, []int64{2}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := self.ReleaseManagement([]*kernel.Segment{code}, []int64{2}, prev); err != nil {
+		t.Fatal(err)
+	}
+	if code.Manager() != prev {
+		t.Fatal("ownership not returned")
+	}
+	flags, _ := code.Flags(0)
+	if flags.Has(kernel.FlagPinned) {
+		t.Fatal("pages still pinned after release")
+	}
+}

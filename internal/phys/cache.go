@@ -1,0 +1,74 @@
+package phys
+
+// Cache is a coarse model of a physically-indexed, physically-tagged CPU
+// cache, tracked at page granularity. It exists to evaluate page coloring
+// (Section 1: "an application can allocate physical pages to virtual pages
+// to minimize mapping collisions in physically addressed caches"): two
+// frames of the same color contend for the same cache sets, so a working
+// set whose frames share colors thrashes even when the cache could hold it.
+//
+// The model is a set-associative cache with one set per page color and LRU
+// replacement within a set. Hits and misses are counted per access; the
+// miss ratio difference between colored and uncolored allocation is the
+// experiment's output.
+type Cache struct {
+	ways   int
+	sets   [][]PFN // per color, most recently used first
+	hits   int64
+	misses int64
+}
+
+// NewCache builds a cache with the given number of page colors and
+// associativity. A cache of C colors and W ways holds C×W pages.
+func NewCache(colors, ways int) *Cache {
+	if colors <= 0 || ways <= 0 {
+		panic("phys: cache colors and ways must be positive")
+	}
+	return &Cache{ways: ways, sets: make([][]PFN, colors)}
+}
+
+// Access touches one page-sized block of frame f and reports whether it hit.
+func (c *Cache) Access(f *Frame) bool {
+	color := int(f.pfn) % len(c.sets)
+	set := c.sets[color]
+	for i, pfn := range set {
+		if pfn == f.pfn {
+			// Move to front (LRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = f.pfn
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = f.pfn
+	c.sets[color] = set
+	return false
+}
+
+// Hits reports the number of accesses that hit.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses reports the number of accesses that missed.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// MissRatio reports misses/accesses, or 0 with no accesses.
+func (c *Cache) MissRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = nil
+	}
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,59 @@
+// Package sim provides the simulation substrate used by every other package
+// in this repository: a virtual clock, a deterministic pseudo-random number
+// generator, a machine cost model calibrated to the paper's DECstation
+// 5000/200 measurements, response-time statistics, and a process-oriented
+// discrete-event scheduler.
+//
+// The paper (Harty & Cheriton, ASPLOS 1992) measures real hardware; we
+// cannot control physical page frames from Go, so all experiments run on
+// virtual time. Durations are expressed with time.Duration but never touch
+// the wall clock, so every run is exactly reproducible.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock. It only moves when some simulated activity
+// charges time to it. The zero value is a clock at time zero, ready to use.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Advancing by a negative duration
+// panics: virtual time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: clock advanced by negative duration %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock forward to t. It panics if t is in the past.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: clock moved backwards from %v to %v", c.now, t))
+	}
+	c.now = t
+}
+
+// Reset returns the clock to time zero.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Stopwatch measures an interval of virtual time against a Clock.
+type Stopwatch struct {
+	clock *Clock
+	start time.Duration
+}
+
+// NewStopwatch starts a stopwatch at the clock's current time.
+func NewStopwatch(c *Clock) Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed reports the virtual time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return s.clock.Now() - s.start }

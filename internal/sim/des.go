@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Env is a process-oriented discrete-event simulation environment, in the
+// style the paper's own database experiment uses ("the locks were implemented
+// and the parallelism is real. However, the execution of a transaction is
+// simulated by looping for some number of instructions and a page fault is
+// simulated by a delay").
+//
+// Simulated processes are goroutines, but exactly one runs at a time and
+// all ordering is decided by the virtual-time event queue, so runs are
+// deterministic. A process advances virtual time with Proc.Sleep, contends
+// for Resources (e.g. the six processors of the SGI 4D/380), and blocks on
+// lock queues via Proc.Park / Env.Wake.
+type Env struct {
+	clock   *Clock
+	events  eventHeap
+	seq     int64
+	parked  chan struct{} // signalled when the running proc parks or finishes
+	active  int           // procs started and not yet finished
+	blocked int           // procs parked with no pending wake event
+}
+
+// NewEnv returns an environment driving the given clock.
+func NewEnv(clock *Clock) *Env {
+	return &Env{clock: clock, parked: make(chan struct{})}
+}
+
+// Clock returns the environment's virtual clock.
+func (e *Env) Clock() *Clock { return e.clock }
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.clock.Now() }
+
+type event struct {
+	at   time.Duration
+	seq  int64
+	proc *Proc  // proc to resume, or nil for a timer callback
+	fn   func() // timer callback, used when proc is nil
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+func (e *Env) push(ev event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.events, ev)
+}
+
+// At schedules fn to run at absolute virtual time t (which must not be in
+// the past). fn runs in the scheduler's goroutine and must not block.
+func (e *Env) At(t time.Duration, fn func()) {
+	if t < e.clock.Now() {
+		panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", t, e.clock.Now()))
+	}
+	e.push(event{at: t, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Env) After(d time.Duration, fn func()) { e.At(e.clock.Now()+d, fn) }
+
+// Proc is a simulated process. Its methods must only be called from within
+// the process's own body function.
+type Proc struct {
+	env    *Env
+	resume chan struct{}
+	name   string
+}
+
+// Name returns the name the process was started with.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.clock.Now() }
+
+// Go starts a new simulated process running body. The process begins at the
+// current virtual time, after the caller yields to the scheduler.
+func (e *Env) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{env: e, resume: make(chan struct{}), name: name}
+	e.active++
+	go func() {
+		<-p.resume // wait for first dispatch
+		body(p)
+		e.active--
+		e.parked <- struct{}{} // signal completion to the scheduler
+	}()
+	e.push(event{at: e.clock.Now(), proc: p})
+	return p
+}
+
+// GoAt is like Go but the process starts at absolute virtual time t.
+func (e *Env) GoAt(t time.Duration, name string, body func(p *Proc)) *Proc {
+	if t < e.clock.Now() {
+		panic("sim: process scheduled to start in the past")
+	}
+	p := &Proc{env: e, resume: make(chan struct{}), name: name}
+	e.active++
+	go func() {
+		<-p.resume
+		body(p)
+		e.active--
+		e.parked <- struct{}{}
+	}()
+	e.push(event{at: t, proc: p})
+	return p
+}
+
+// park suspends the calling process until the scheduler resumes it.
+func (p *Proc) park() {
+	p.env.parked <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process by d of virtual time, letting other processes
+// run in the interim. Sleeping models computation or I/O latency.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.env.push(event{at: p.env.clock.Now() + d, proc: p})
+	p.park()
+}
+
+// Park suspends the process indefinitely; some other process or timer must
+// call Env.Wake(p) to resume it. Used to build wait queues (lock managers,
+// condition variables).
+func (p *Proc) Park() {
+	p.env.blocked++
+	p.park()
+}
+
+// Wake schedules parked process q to resume at the current virtual time.
+// It must pair with a Proc.Park; waking a process that is not parked
+// corrupts the simulation.
+func (e *Env) Wake(q *Proc) {
+	e.blocked--
+	e.push(event{at: e.clock.Now(), proc: q})
+}
+
+// Run drives the simulation until no events remain. It reports the number
+// of processes left permanently blocked (normally zero; nonzero indicates a
+// deadlock in the simulated system, which tests assert against).
+func (e *Env) Run() int { return e.RunUntil(1<<62 - 1) }
+
+// RunUntil drives the simulation until no events remain or the next event
+// is after deadline. It reports the number of processes left blocked.
+func (e *Env) RunUntil(deadline time.Duration) int {
+	for e.events.Len() > 0 {
+		if e.events[0].at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.clock.AdvanceTo(ev.at)
+		if ev.proc != nil {
+			ev.proc.resume <- struct{}{}
+			<-e.parked // run until it parks or finishes
+		} else {
+			ev.fn()
+		}
+	}
+	return e.blocked
+}
+
+// Resource is a counted resource with FIFO queueing — for example the six
+// processors of the simulated SGI 4D/380. A process holds one unit between
+// Acquire and Release.
+type Resource struct {
+	env      *Env
+	capacity int
+	inUse    int
+	waiters  []*Proc
+	// contention statistics
+	waited   Series
+	acquires Counter
+}
+
+// NewResource returns a resource with the given capacity (number of units).
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: env, capacity: capacity}
+}
+
+// Acquire obtains one unit, blocking the process in FIFO order if all units
+// are busy.
+func (r *Resource) Acquire(p *Proc) {
+	r.acquires.Inc()
+	if r.inUse < r.capacity {
+		r.inUse++
+		r.waited.Add(0)
+		return
+	}
+	start := p.Now()
+	r.waiters = append(r.waiters, p)
+	p.Park()
+	r.waited.Add(p.Now() - start)
+	// Ownership was transferred by Release before the wake, so inUse is
+	// already accounted for.
+}
+
+// Release returns one unit, granting it to the oldest waiter if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// Hand the unit directly to w: inUse stays the same.
+		r.env.Wake(w)
+		return
+	}
+	r.inUse--
+	if r.inUse < 0 {
+		panic("sim: resource released more than acquired")
+	}
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of processes waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// WaitStats reports the distribution of times processes spent queued.
+func (r *Resource) WaitStats() *Series { return &r.waited }
+
+// Use runs fn while holding one unit of the resource.
+func (r *Resource) Use(p *Proc, fn func()) {
+	r.Acquire(p)
+	defer r.Release()
+	fn()
+}

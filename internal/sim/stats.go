@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Series accumulates duration samples (e.g. transaction response times) and
+// reports summary statistics. The zero value is an empty series ready to use.
+type Series struct {
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+	max     time.Duration
+	min     time.Duration
+}
+
+// Add records one sample.
+func (s *Series) Add(d time.Duration) {
+	if len(s.samples) == 0 || d < s.min {
+		s.min = d
+	}
+	if d > s.max {
+		s.max = d
+	}
+	s.sum += d
+	s.samples = append(s.samples, d)
+	s.sorted = false
+}
+
+// Count reports the number of samples recorded.
+func (s *Series) Count() int { return len(s.samples) }
+
+// Mean reports the arithmetic mean, or zero for an empty series.
+func (s *Series) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / time.Duration(len(s.samples))
+}
+
+// Max reports the largest sample (the paper's "worst-case response").
+func (s *Series) Max() time.Duration { return s.max }
+
+// Min reports the smallest sample.
+func (s *Series) Min() time.Duration { return s.min }
+
+// Sum reports the total of all samples.
+func (s *Series) Sum() time.Duration { return s.sum }
+
+// Percentile reports the p-th percentile (0 < p <= 100) using
+// nearest-rank on the sorted samples. It returns zero for an empty series.
+func (s *Series) Percentile(p float64) time.Duration {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return s.samples[rank-1]
+}
+
+// StdDev reports the population standard deviation of the samples.
+func (s *Series) StdDev() time.Duration {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var acc float64
+	for _, d := range s.samples {
+		diff := float64(d) - mean
+		acc += diff * diff
+	}
+	return time.Duration(math.Sqrt(acc / float64(n)))
+}
+
+// String summarizes the series for human-readable reports.
+func (s *Series) String() string {
+	return fmt.Sprintf("n=%d mean=%v max=%v p99=%v",
+		s.Count(), s.Mean().Round(time.Microsecond), s.Max().Round(time.Microsecond),
+		s.Percentile(99).Round(time.Microsecond))
+}
+
+// Counter is a named monotonically increasing event count.
+type Counter struct {
+	n int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn adds n to the counter.
+func (c *Counter) Addn(n int64) { c.n += n }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.n }

@@ -1,0 +1,434 @@
+// Package spcm implements the System Page Cache Manager (§2.4): the
+// process-level module that owns the global memory pool (the kernel's
+// boot-time segment of all page frames) and allocates frames among segment
+// managers — including requests for particular frames by physical address,
+// address range, cache color or NUMA node.
+//
+// Allocation among competing managers follows the paper's "memory market"
+// model: each account receives an income of I drams per second, holding M
+// megabytes for T seconds costs M·D·T drams, savings above a threshold are
+// taxed (the market has fixed price and fixed supply, so hoarding must be
+// discouraged), I/O carries a charge so scan-structured programs cannot
+// trade memory for unbounded I/O, and memory is free when there is no
+// contention. Accounts that exhaust their dram supply have their memory
+// forcibly reclaimed — but, critically, *their segment manager* chooses
+// which page frames to surrender (§4).
+package spcm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/phys"
+	"epcm/internal/sim"
+)
+
+// ErrNotRegistered reports a request from a manager with no account.
+var ErrNotRegistered = errors.New("spcm: manager has no account")
+
+// Policy sets the market parameters.
+type Policy struct {
+	// PricePerMBSecond is D: drams charged per megabyte held per second.
+	PricePerMBSecond float64
+	// DefaultIncome is I: drams earned per second by a new account.
+	DefaultIncome float64
+	// SavingsTaxRate is the fraction of balance above SavingsTaxFloor
+	// taxed away per second.
+	SavingsTaxRate float64
+	// SavingsTaxFloor is the untaxed balance.
+	SavingsTaxFloor float64
+	// IOChargePerPage is the dram charge per page of I/O an account
+	// performs.
+	IOChargePerPage float64
+	// FreeWhenUncontended waives the holding charge while no requests are
+	// outstanding ("the SPCM can allow a process to continue to use memory
+	// at no charge when there are no outstanding memory requests").
+	FreeWhenUncontended bool
+	// MinGrantBalance is the balance below which new requests are refused.
+	MinGrantBalance float64
+}
+
+// DefaultPolicy returns a workable market: a dram per MB-second, income
+// sized so an account can afford tens of MB continuously.
+func DefaultPolicy() Policy {
+	return Policy{
+		PricePerMBSecond:    1.0,
+		DefaultIncome:       32.0, // sustains 32 MB held forever
+		SavingsTaxRate:      0.01,
+		SavingsTaxFloor:     1000,
+		IOChargePerPage:     0.05,
+		FreeWhenUncontended: true,
+		MinGrantBalance:     0,
+	}
+}
+
+// Account is one client of the memory market.
+type Account struct {
+	name       string
+	mgr        *manager.Generic
+	balance    float64
+	income     float64 // drams per second
+	lastSettle time.Duration
+	ioPages    int64
+	// statistics
+	earned, rentPaid, taxPaid, ioPaid float64
+}
+
+// Name returns the account name.
+func (a *Account) Name() string { return a.name }
+
+// Balance returns the current dram balance (settle first for freshness).
+func (a *Account) Balance() float64 { return a.balance }
+
+// Income returns the account's income in drams per second.
+func (a *Account) Income() float64 { return a.income }
+
+// HeldPages reports the frames currently charged to the account: the
+// manager's free pool plus everything it has placed in segments.
+func (a *Account) HeldPages() int { return a.mgr.FreeFrames() + a.mgr.ResidentPages() }
+
+// RentPaid, TaxPaid, IOPaid and Earned report lifetime totals.
+func (a *Account) RentPaid() float64 { return a.rentPaid }
+func (a *Account) TaxPaid() float64  { return a.taxPaid }
+func (a *Account) IOPaid() float64   { return a.ioPaid }
+func (a *Account) Earned() float64   { return a.earned }
+
+// Stats counts SPCM decisions.
+type Stats struct {
+	Granted        int64 // frames granted
+	Refused        int64 // requests refused outright
+	Deferred       int64 // requests partially satisfied or postponed
+	Returned       int64 // frames returned voluntarily
+	ForcedReclaims int64 // frames taken from insolvent accounts
+}
+
+// SPCM is the system page cache manager.
+type SPCM struct {
+	k      *kernel.Kernel
+	clock  *sim.Clock
+	policy Policy
+	// freePages are boot-segment page numbers (== PFNs) available to grant.
+	freePages []int64
+	accounts  map[*manager.Generic]*Account
+	// outstanding demand drives the FreeWhenUncontended rule: number of
+	// frames requested but not granted since the last settle-all.
+	unmetDemand int
+	stats       Stats
+}
+
+// pagesPerMB for the standard 4 KB frame.
+func (s *SPCM) pagesPerMB() float64 {
+	return float64(1<<20) / float64(s.k.Mem().FrameSize())
+}
+
+// New builds an SPCM owning every frame not already migrated out of the
+// kernel's boot segment.
+func New(k *kernel.Kernel, policy Policy) *SPCM {
+	s := &SPCM{
+		k:        k,
+		clock:    k.Clock(),
+		policy:   policy,
+		accounts: make(map[*manager.Generic]*Account),
+	}
+	s.freePages = k.BootSegment().Pages()
+	return s
+}
+
+// FreeFrames reports the number of unallocated frames.
+func (s *SPCM) FreeFrames() int { return len(s.freePages) }
+
+// Stats returns a snapshot of decision counters.
+func (s *SPCM) Stats() Stats { return s.stats }
+
+// Policy returns the market policy.
+func (s *SPCM) Policy() Policy { return s.policy }
+
+// Register opens an account for a manager. income <= 0 selects the policy
+// default. The manager's Config.Source should be this SPCM.
+func (s *SPCM) Register(g *manager.Generic, name string, income float64) *Account {
+	if income <= 0 {
+		income = s.policy.DefaultIncome
+	}
+	a := &Account{name: name, mgr: g, income: income, lastSettle: s.clock.Now()}
+	s.accounts[g] = a
+	return a
+}
+
+// Account returns the account of a registered manager.
+func (s *SPCM) Account(g *manager.Generic) (*Account, bool) {
+	a, ok := s.accounts[g]
+	return a, ok
+}
+
+// settle brings one account's balance up to date: income accrues, rent is
+// charged for held memory (unless memory is uncontended and the policy
+// waives it), savings are taxed, and accumulated I/O is charged.
+func (s *SPCM) settle(a *Account) {
+	now := s.clock.Now()
+	dt := (now - a.lastSettle).Seconds()
+	a.lastSettle = now
+	if dt > 0 {
+		earn := a.income * dt
+		a.balance += earn
+		a.earned += earn
+		// Rent applies whenever contention exists or the waiver is off.
+		if !(s.policy.FreeWhenUncontended && s.unmetDemand == 0) {
+			heldMB := float64(a.HeldPages()) / s.pagesPerMB()
+			rent := heldMB * s.policy.PricePerMBSecond * dt
+			a.balance -= rent
+			a.rentPaid += rent
+		}
+		if excess := a.balance - s.policy.SavingsTaxFloor; excess > 0 && s.policy.SavingsTaxRate > 0 {
+			tax := excess * s.policy.SavingsTaxRate * dt
+			if tax > excess {
+				tax = excess
+			}
+			a.balance -= tax
+			a.taxPaid += tax
+		}
+	}
+	if a.ioPages > 0 {
+		io := float64(a.ioPages) * s.policy.IOChargePerPage
+		a.balance -= io
+		a.ioPaid += io
+		a.ioPages = 0
+	}
+}
+
+// SettleAll settles every account (periodic market tick).
+func (s *SPCM) SettleAll() {
+	for _, a := range s.accounts {
+		s.settle(a)
+	}
+}
+
+// ChargeIO records n pages of I/O against a manager's account.
+func (s *SPCM) ChargeIO(g *manager.Generic, pages int64) {
+	if a, ok := s.accounts[g]; ok {
+		a.ioPages += pages
+	}
+}
+
+// RequestFrames implements manager.FrameSource: grant, defer or refuse.
+// Requests from insolvent accounts are refused; otherwise up to n frames
+// satisfying the constraint are granted (fewer than n is the paper's
+// "allocates and provides as many page frames as it can or is willing to").
+func (s *SPCM) RequestFrames(g *manager.Generic, n int, constraint phys.Range) (int, error) {
+	a, ok := s.accounts[g]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
+	}
+	s.settle(a)
+	if a.balance < s.policy.MinGrantBalance {
+		s.stats.Refused++
+		s.unmetDemand += n
+		return 0, nil
+	}
+	picked := s.pickFrames(n, constraint)
+	if len(picked) < n {
+		s.stats.Deferred++
+		s.unmetDemand += n - len(picked)
+	}
+	if len(picked) == 0 {
+		return 0, nil
+	}
+	slots := g.ReceiveSlots(len(picked))
+	for i, bootPage := range picked {
+		if err := s.k.MigratePages(kernel.SystemCred, s.k.BootSegment(), g.FreeSegment(),
+			bootPage, slots[i], 1, 0, 0); err != nil {
+			// Roll the unmigrated remainder back into the free pool.
+			s.freePages = append(s.freePages, picked[i:]...)
+			g.FramesGranted(slots[:i])
+			s.stats.Granted += int64(i)
+			return i, err
+		}
+	}
+	g.FramesGranted(slots)
+	s.stats.Granted += int64(len(picked))
+	return len(picked), nil
+}
+
+// pickFrames removes up to n free boot pages satisfying the constraint.
+func (s *SPCM) pickFrames(n int, constraint phys.Range) []int64 {
+	var picked []int64
+	if !constraint.Constrained() {
+		for len(picked) < n && len(s.freePages) > 0 {
+			last := len(s.freePages) - 1
+			picked = append(picked, s.freePages[last])
+			s.freePages = s.freePages[:last]
+		}
+		return picked
+	}
+	kept := s.freePages[:0]
+	for _, p := range s.freePages {
+		if len(picked) < n && constraint.Admits(s.k.Mem().Frame(phys.PFN(p))) {
+			picked = append(picked, p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	s.freePages = kept
+	return picked
+}
+
+// RequestContiguous grants a run of n physically contiguous frames (for
+// large pages via MigrateCoalesced). It returns the granted boot pages in
+// the target manager's free segment, or 0 if no run exists.
+func (s *SPCM) RequestContiguous(g *manager.Generic, n int) (int, error) {
+	a, ok := s.accounts[g]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
+	}
+	s.settle(a)
+	if a.balance < s.policy.MinGrantBalance {
+		s.stats.Refused++
+		return 0, nil
+	}
+	run := s.findRun(n)
+	if run < 0 {
+		s.stats.Deferred++
+		s.unmetDemand += n
+		return 0, nil
+	}
+	picked := make([]int64, n)
+	for i := 0; i < n; i++ {
+		picked[i] = run + int64(i)
+	}
+	s.removeFreePages(picked)
+	slots := g.ReceiveSlots(n)
+	for i, bootPage := range picked {
+		if err := s.k.MigratePages(kernel.SystemCred, s.k.BootSegment(), g.FreeSegment(),
+			bootPage, slots[i], 1, 0, 0); err != nil {
+			return i, err
+		}
+	}
+	g.FramesGranted(slots)
+	s.stats.Granted += int64(n)
+	return n, nil
+}
+
+// findRun locates n consecutive free PFNs, returning the first or -1.
+func (s *SPCM) findRun(n int) int64 {
+	free := make(map[int64]bool, len(s.freePages))
+	for _, p := range s.freePages {
+		free[p] = true
+	}
+	for _, p := range s.freePages {
+		if free[p-1] {
+			continue // not a run start
+		}
+		run := 1
+		for free[p+int64(run)] {
+			run++
+			if run >= n {
+				return p
+			}
+		}
+	}
+	return -1
+}
+
+func (s *SPCM) removeFreePages(pages []int64) {
+	drop := make(map[int64]bool, len(pages))
+	for _, p := range pages {
+		drop[p] = true
+	}
+	kept := s.freePages[:0]
+	for _, p := range s.freePages {
+		if !drop[p] {
+			kept = append(kept, p)
+		}
+	}
+	s.freePages = kept
+}
+
+// ReturnFrames implements manager.FrameSource: frames come home to the
+// boot segment.
+func (s *SPCM) ReturnFrames(g *manager.Generic, slots []int64) error {
+	if _, ok := s.accounts[g]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
+	}
+	for _, slot := range slots {
+		frame := g.FreeSegment().FrameAt(slot)
+		if frame == nil {
+			return fmt.Errorf("spcm: return of empty slot %d from %s", slot, g.ManagerName())
+		}
+		bootPage := int64(frame.PFN())
+		if err := s.k.MigratePages(kernel.SystemCred, g.FreeSegment(), s.k.BootSegment(),
+			slot, bootPage, 1, 0, kernel.FlagRW|kernel.FlagDirty|kernel.FlagReferenced|kernel.FlagDiscardable); err != nil {
+			return err
+		}
+		s.freePages = append(s.freePages, bootPage)
+		s.stats.Returned++
+	}
+	if s.unmetDemand > 0 {
+		s.unmetDemand -= len(slots)
+		if s.unmetDemand < 0 {
+			s.unmetDemand = 0
+		}
+	}
+	return nil
+}
+
+// Enforce settles all accounts and forces insolvent ones to give memory
+// back: the account's own manager reclaims (choosing its victims — the
+// manager keeps complete control over *which* frames to surrender) and the
+// freed frames return to the pool. Returns the number of frames reclaimed.
+func (s *SPCM) Enforce() (int, error) {
+	total := 0
+	for g, a := range s.accounts {
+		s.settle(a)
+		if a.balance >= 0 {
+			continue
+		}
+		// Take back enough frames to make the account solvent for one
+		// second at current income, at least one.
+		deficitMB := (-a.balance + a.income) / s.policy.PricePerMBSecond
+		pages := int(deficitMB * s.pagesPerMB())
+		if pages < 1 {
+			pages = 1
+		}
+		if held := a.HeldPages(); pages > held {
+			pages = held
+		}
+		if pages == 0 {
+			continue
+		}
+		if g.FreeFrames() < pages {
+			if _, err := g.Reclaim(pages-g.FreeFrames(), phys.AnyFrame()); err != nil {
+				return total, err
+			}
+		}
+		n, err := g.ReturnFreeFrames(pages)
+		if err != nil {
+			return total, err
+		}
+		total += n
+		s.stats.ForcedReclaims += int64(n)
+	}
+	return total, nil
+}
+
+// EstimateWait answers the batch scheduler's query (§2.4): how long until
+// the account can afford to hold `pages` frames for `slice` of runtime,
+// given current balance and income. Zero means it can afford it now.
+func (s *SPCM) EstimateWait(a *Account, pages int, slice time.Duration) time.Duration {
+	s.settle(a)
+	needMB := float64(pages) / s.pagesPerMB()
+	cost := needMB * s.policy.PricePerMBSecond * slice.Seconds()
+	if a.balance >= cost {
+		return 0
+	}
+	if a.income <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	wait := (cost - a.balance) / a.income
+	return time.Duration(wait * float64(time.Second))
+}
+
+// Demand reports current unmet demand in frames (the §2.4 "queries to the
+// SPCM [to] determine the demand on memory").
+func (s *SPCM) Demand() int { return s.unmetDemand }

@@ -1,0 +1,229 @@
+// Package storage models the backing store behind segment managers: block
+// stores with latency models for a local disk of the period and for a
+// diskless workstation's network file server (the paper's V++ machine is
+// diskless, served by a DECstation 3100 running Ultrix 4.1).
+//
+// Managers call Fetch and Store to move page-sized blocks between frames
+// and backing store; the latency is charged to the virtual clock, which is
+// how page-fault I/O time enters every experiment.
+package storage
+
+import (
+	"fmt"
+	"time"
+
+	"epcm/internal/sim"
+)
+
+// BlockStore is a persistent array of fixed-size blocks addressed by file
+// name and block number. Implementations charge their access latency to a
+// virtual clock.
+type BlockStore interface {
+	// Fetch reads block `block` of file `name` into buf and charges the
+	// access latency. Reading a never-written block yields zeros.
+	Fetch(name string, block int64, buf []byte) error
+	// Store writes buf to block `block` of file `name` and charges the
+	// access latency.
+	Store(name string, block int64, buf []byte) error
+	// Size reports the number of blocks ever written to the file.
+	Size(name string) int64
+	// BlockSize reports the store's block size in bytes.
+	BlockSize() int
+	// Reads and Writes report operation counts for instrumentation.
+	Reads() int64
+	Writes() int64
+}
+
+// LatencyModel describes one storage device's timing.
+type LatencyModel struct {
+	// PerAccess is the fixed cost of one block access (seek + rotation for
+	// a disk; request round-trip for a network server).
+	PerAccess time.Duration
+	// PerByte is the transfer cost per byte.
+	PerByte time.Duration
+	// Name labels the device in diagnostics.
+	Name string
+}
+
+// LocalDisk is a period-appropriate local SCSI disk: ~16 ms per 4 KB page.
+func LocalDisk() LatencyModel {
+	return LatencyModel{PerAccess: 15 * time.Millisecond, PerByte: 250 * time.Nanosecond, Name: "local-disk"}
+}
+
+// NetworkServer is the diskless configuration: a file server reached over
+// 10 Mb/s Ethernet, ~20 ms per 4 KB page including the server's own disk.
+func NetworkServer() LatencyModel {
+	return LatencyModel{PerAccess: 17 * time.Millisecond, PerByte: 800 * time.Nanosecond, Name: "network-server"}
+}
+
+// Memory-resident store latency (for pre-cached experiment setups where the
+// paper deliberately eliminates device time).
+func Prefilled() LatencyModel {
+	return LatencyModel{Name: "prefilled"}
+}
+
+// Store is the standard BlockStore implementation.
+type Store struct {
+	clock     *sim.Clock
+	model     LatencyModel
+	blockSize int
+	files     map[string]map[int64][]byte
+	sizes     map[string]int64
+	reads     int64
+	writes    int64
+	// chargeLatency can be disabled for setup phases (pre-loading files
+	// before a measured run, as the paper does by running applications
+	// "with the files they read cached in memory").
+	charge bool
+}
+
+// NewStore builds a block store over the given clock and latency model.
+func NewStore(clock *sim.Clock, model LatencyModel, blockSize int) *Store {
+	if blockSize <= 0 {
+		panic(fmt.Sprintf("storage: bad block size %d", blockSize))
+	}
+	return &Store{
+		clock:     clock,
+		model:     model,
+		blockSize: blockSize,
+		files:     make(map[string]map[int64][]byte),
+		sizes:     make(map[string]int64),
+		charge:    true,
+	}
+}
+
+// SetCharging enables or disables latency charging (setup vs measured run).
+func (s *Store) SetCharging(on bool) { s.charge = on }
+
+// BlockSize reports the block size.
+func (s *Store) BlockSize() int { return s.blockSize }
+
+// Reads reports the number of Fetch calls.
+func (s *Store) Reads() int64 { return s.reads }
+
+// Writes reports the number of Store calls.
+func (s *Store) Writes() int64 { return s.writes }
+
+func (s *Store) chargeAccess(bytes int) {
+	if !s.charge {
+		return
+	}
+	s.clock.Advance(s.model.PerAccess + time.Duration(bytes)*s.model.PerByte)
+}
+
+// Fetch implements BlockStore.
+func (s *Store) Fetch(name string, block int64, buf []byte) error {
+	if block < 0 {
+		return fmt.Errorf("storage: fetch %q block %d: negative block", name, block)
+	}
+	if len(buf) > s.blockSize {
+		return fmt.Errorf("storage: fetch %q block %d: buffer %d exceeds block size %d",
+			name, block, len(buf), s.blockSize)
+	}
+	s.reads++
+	s.chargeAccess(len(buf))
+	f := s.files[name]
+	data, ok := f[block]
+	if !ok {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	copy(buf, data)
+	return nil
+}
+
+// Store implements BlockStore.
+func (s *Store) Store(name string, block int64, buf []byte) error {
+	if block < 0 {
+		return fmt.Errorf("storage: store %q block %d: negative block", name, block)
+	}
+	if len(buf) > s.blockSize {
+		return fmt.Errorf("storage: store %q block %d: buffer %d exceeds block size %d",
+			name, block, len(buf), s.blockSize)
+	}
+	s.writes++
+	s.chargeAccess(len(buf))
+	f, ok := s.files[name]
+	if !ok {
+		f = make(map[int64][]byte)
+		s.files[name] = f
+	}
+	data := make([]byte, s.blockSize)
+	copy(data, buf)
+	f[block] = data
+	if block+1 > s.sizes[name] {
+		s.sizes[name] = block + 1
+	}
+	return nil
+}
+
+// Size implements BlockStore.
+func (s *Store) Size(name string) int64 { return s.sizes[name] }
+
+// Preload writes a file's contents without charging latency or counting
+// operations — experiment setup.
+func (s *Store) Preload(name string, blocks int64, fill func(block int64, buf []byte)) {
+	savedCharge := s.charge
+	s.charge = false
+	buf := make([]byte, s.blockSize)
+	for b := int64(0); b < blocks; b++ {
+		if fill != nil {
+			fill(b, buf)
+		}
+		if err := s.Store(name, b, buf); err != nil {
+			panic(err) // preload arguments are programmer-controlled
+		}
+		s.writes--
+	}
+	s.charge = savedCharge
+	s.reads, s.writes = 0, 0
+}
+
+// FailingStore wraps a BlockStore and injects failures: after FailAfter
+// successful operations, every subsequent operation matching the enabled
+// kinds returns ErrInjected. It exists for fault-injection tests — a
+// manager must surface backing-store errors without corrupting frame
+// accounting.
+type FailingStore struct {
+	Inner BlockStore
+	// FailAfter is the number of operations that succeed first.
+	FailAfter int64
+	// FailReads and FailWrites select which operations fail.
+	FailReads, FailWrites bool
+	ops                   int64
+}
+
+// ErrInjected is the failure FailingStore injects.
+var ErrInjected = fmt.Errorf("storage: injected failure")
+
+// Fetch implements BlockStore.
+func (f *FailingStore) Fetch(name string, block int64, buf []byte) error {
+	f.ops++
+	if f.FailReads && f.ops > f.FailAfter {
+		return fmt.Errorf("%w (fetch %q block %d)", ErrInjected, name, block)
+	}
+	return f.Inner.Fetch(name, block, buf)
+}
+
+// Store implements BlockStore.
+func (f *FailingStore) Store(name string, block int64, buf []byte) error {
+	f.ops++
+	if f.FailWrites && f.ops > f.FailAfter {
+		return fmt.Errorf("%w (store %q block %d)", ErrInjected, name, block)
+	}
+	return f.Inner.Store(name, block, buf)
+}
+
+// Size implements BlockStore.
+func (f *FailingStore) Size(name string) int64 { return f.Inner.Size(name) }
+
+// BlockSize implements BlockStore.
+func (f *FailingStore) BlockSize() int { return f.Inner.BlockSize() }
+
+// Reads implements BlockStore.
+func (f *FailingStore) Reads() int64 { return f.Inner.Reads() }
+
+// Writes implements BlockStore.
+func (f *FailingStore) Writes() int64 { return f.Inner.Writes() }

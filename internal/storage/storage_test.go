@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"epcm/internal/sim"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	var clock sim.Clock
+	s := NewStore(&clock, LocalDisk(), 4096)
+	in := make([]byte, 4096)
+	for i := range in {
+		in[i] = byte(i)
+	}
+	if err := s.Store("f", 3, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4096)
+	if err := s.Fetch("f", 3, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatal("round trip corrupted data")
+	}
+	if s.Size("f") != 4 {
+		t.Fatalf("Size = %d, want 4", s.Size("f"))
+	}
+	if s.Reads() != 1 || s.Writes() != 1 {
+		t.Fatalf("reads=%d writes=%d", s.Reads(), s.Writes())
+	}
+}
+
+func TestStoreUnwrittenBlockReadsZeros(t *testing.T) {
+	var clock sim.Clock
+	s := NewStore(&clock, Prefilled(), 4096)
+	buf := []byte{1, 2, 3}
+	if err := s.Fetch("ghost", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unwritten block not zeroed")
+		}
+	}
+}
+
+func TestStoreChargesLatency(t *testing.T) {
+	var clock sim.Clock
+	model := LocalDisk()
+	s := NewStore(&clock, model, 4096)
+	buf := make([]byte, 4096)
+	if err := s.Fetch("f", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := model.PerAccess + 4096*model.PerByte
+	if clock.Now() != want {
+		t.Fatalf("latency %v, want %v", clock.Now(), want)
+	}
+	// Network fetch is slower than local disk for the same page.
+	var clock2 sim.Clock
+	s2 := NewStore(&clock2, NetworkServer(), 4096)
+	if err := s2.Fetch("f", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if clock2.Now() <= clock.Now() {
+		t.Fatalf("network (%v) should cost more than local disk (%v)", clock2.Now(), clock.Now())
+	}
+}
+
+func TestStoreChargingToggle(t *testing.T) {
+	var clock sim.Clock
+	s := NewStore(&clock, LocalDisk(), 4096)
+	s.SetCharging(false)
+	buf := make([]byte, 4096)
+	if err := s.Store("f", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() != 0 {
+		t.Fatal("charging disabled but clock moved")
+	}
+	s.SetCharging(true)
+	if err := s.Store("f", 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() == 0 {
+		t.Fatal("charging enabled but clock did not move")
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	var clock sim.Clock
+	s := NewStore(&clock, Prefilled(), 4096)
+	big := make([]byte, 8192)
+	if err := s.Store("f", 0, big); err == nil {
+		t.Fatal("oversized buffer accepted")
+	}
+	if err := s.Fetch("f", -1, big[:10]); err == nil {
+		t.Fatal("negative block accepted")
+	}
+	if err := s.Store("f", -1, big[:10]); err == nil {
+		t.Fatal("negative block accepted on store")
+	}
+}
+
+func TestStorePartialBlockWritePadsWithZeros(t *testing.T) {
+	var clock sim.Clock
+	s := NewStore(&clock, Prefilled(), 4096)
+	if err := s.Store("f", 0, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4096)
+	if err := s.Fetch("f", 0, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 9 || out[1] != 9 || out[2] != 0 {
+		t.Fatal("partial write not padded")
+	}
+}
+
+func TestPreloadIsFreeAndUncounted(t *testing.T) {
+	var clock sim.Clock
+	s := NewStore(&clock, LocalDisk(), 4096)
+	s.Preload("data", 100, func(block int64, buf []byte) {
+		buf[0] = byte(block)
+	})
+	if clock.Now() != 0 {
+		t.Fatalf("preload charged %v", clock.Now())
+	}
+	if s.Reads() != 0 || s.Writes() != 0 {
+		t.Fatal("preload counted operations")
+	}
+	if s.Size("data") != 100 {
+		t.Fatalf("Size = %d", s.Size("data"))
+	}
+	buf := make([]byte, 4096)
+	if err := s.Fetch("data", 7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Fatal("preloaded data wrong")
+	}
+	if clock.Now() == 0 {
+		t.Fatal("post-preload fetch should charge latency")
+	}
+}
+
+func TestLatencyModelsRoughMagnitudes(t *testing.T) {
+	// A page fault to secondary storage costs "close to a million
+	// instruction times" (§1) — tens of milliseconds on a 25 MHz machine.
+	for _, m := range []LatencyModel{LocalDisk(), NetworkServer()} {
+		page := m.PerAccess + 4096*m.PerByte
+		if page < 10*time.Millisecond || page > 50*time.Millisecond {
+			t.Errorf("%s: 4KB access %v outside plausible 10-50ms", m.Name, page)
+		}
+	}
+}

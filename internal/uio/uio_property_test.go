@@ -1,0 +1,89 @@
+package uio
+
+import (
+	"bytes"
+	"testing"
+
+	"epcm/internal/sim"
+)
+
+// Property: a random interleaving of block reads and writes behaves
+// exactly like an in-memory reference model — contents, file size, and
+// zero-fill of never-written blocks all agree.
+func TestUIOMatchesReferenceModel(t *testing.T) {
+	k, _, fseg := setup(t)
+	f := Open(k, fseg, "model", 0)
+	ref := make(map[int64][]byte)
+	var refSize int64
+
+	rng := sim.NewRNG(123)
+	buf := make([]byte, 4096)
+	out := make([]byte, 4096)
+	for step := 0; step < 500; step++ {
+		block := int64(rng.Intn(24))
+		if rng.Bool(0.5) {
+			// Write a recognizable pattern.
+			for i := range buf {
+				buf[i] = byte(step + i)
+			}
+			if err := f.WriteBlock(block, buf); err != nil {
+				t.Fatalf("step %d write: %v", step, err)
+			}
+			cp := make([]byte, 4096)
+			copy(cp, buf)
+			ref[block] = cp
+			if block+1 > refSize {
+				refSize = block + 1
+			}
+		} else {
+			if err := f.ReadBlock(block, out); err != nil {
+				t.Fatalf("step %d read: %v", step, err)
+			}
+			want, ok := ref[block]
+			if !ok {
+				want = make([]byte, 4096) // never written: zeros
+			}
+			if !bytes.Equal(out, want) {
+				t.Fatalf("step %d: block %d contents diverge from model", step, block)
+			}
+		}
+		if f.SizeBlocks() != refSize {
+			t.Fatalf("step %d: size %d, model %d", step, f.SizeBlocks(), refSize)
+		}
+	}
+	if err := k.CheckFrameConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: virtual time is monotone and every cached operation costs
+// exactly its Table 1 value once the page is resident.
+func TestUIOSteadyStateCosts(t *testing.T) {
+	k, _, fseg := setup(t)
+	f := Open(k, fseg, "costs", 0)
+	buf := make([]byte, 4096)
+	for b := int64(0); b < 8; b++ {
+		if err := f.WriteBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(5)
+	for i := 0; i < 200; i++ {
+		b := int64(rng.Intn(8))
+		before := k.Clock().Now()
+		var want = k.Cost().VppRead4K()
+		if rng.Bool(0.5) {
+			if err := f.ReadBlock(b, buf); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			want = k.Cost().VppWrite4K()
+			if err := f.WriteBlock(b, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := k.Clock().Now() - before; got != want {
+			t.Fatalf("op %d cost %v, want %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package ultrix
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file implements the paper's §2.4 sketch of retrofitting external
+// page-cache management onto a conventional Unix system: "kernel extensions
+// would be required to designate a mapped file as a page-cache file,
+// meaning that page frames for the file would not be reclaimed (without
+// sufficient notice) ... a kernel operation, such as an extension to the
+// ioctl system call, would be required to set the managing process
+// associated with a given file and to allocate pages ... the ptrace and
+// signal/wait mechanism can be used to communicate page faults to the
+// process-level segment manager."
+//
+// The retrofit obtains the *control* benefits of external management on
+// Unix, at Unix's fault-delivery price: faults reach the manager over the
+// signal path, so the minimal externally-handled fault costs more than
+// V++'s 107 µs — but the manager still decides what fills each page and
+// which pages are reclaimed.
+
+// ExternalManager is the process-level manager a page-cache file is bound
+// to. It fills page data on fault and chooses reclaim victims on request.
+type ExternalManager interface {
+	// FillPage supplies the contents for one page of the file.
+	FillPage(file string, page int64, buf []byte) error
+	// SelectVictims picks up to n of the file's resident pages to release
+	// when the kernel needs memory back ("sufficient notice").
+	SelectVictims(file string, resident []int64, n int) []int64
+}
+
+// externalFile is a page-cache file registration.
+type externalFile struct {
+	name string
+	mgr  ExternalManager
+}
+
+// externalState hangs off System lazily, keeping the base model untouched
+// for ordinary files.
+func (s *System) external() map[string]*externalFile {
+	if s.externals == nil {
+		s.externals = make(map[string]*externalFile)
+	}
+	return s.externals
+}
+
+// ExternalStats counts retrofit activity.
+type ExternalStats struct {
+	ExternalFaults int64 // faults forwarded to user-level managers
+	ManagerFills   int64
+	NoticeReclaims int64 // pages released through manager victim selection
+}
+
+// SetPageCacheFile designates file as a page-cache file managed by mgr
+// (the ioctl extension). Its pages are excluded from the kernel clock;
+// faults on it are forwarded to mgr over the signal mechanism.
+func (s *System) SetPageCacheFile(name string, mgr ExternalManager) {
+	s.clock.Advance(s.cost.KernelCall) // the ioctl
+	s.external()[name] = &externalFile{name: name, mgr: mgr}
+	if _, ok := s.fileSizes[name]; !ok {
+		s.fileSizes[name] = s.store.Size(name)
+	}
+}
+
+// ExternalStatsSnapshot returns the retrofit counters.
+func (s *System) ExternalStatsSnapshot() ExternalStats { return s.extStats }
+
+// ReadExternal reads one 4 KB page of a page-cache file. A miss is
+// forwarded to the user-level manager: trap, signal delivery to the
+// manager process, the manager's fill, the mapping ioctl, resume — the
+// Unix-price external fault.
+func (s *System) ReadExternal(name string, page int64) error {
+	ef, ok := s.external()[name]
+	if !ok {
+		return fmt.Errorf("ultrix: %q is not a page-cache file", name)
+	}
+	key := pageKey{obj: "ext:" + name, page: page}
+	if pi, found := s.resident[key]; found {
+		pi.referenced = true
+		s.clock.Advance(s.cost.UltrixRead4K())
+		return nil
+	}
+	// External fault path.
+	s.extStats.ExternalFaults++
+	s.clock.Advance(s.cost.Trap + s.cost.SignalDeliver)
+	buf := make([]byte, 4096)
+	if err := ef.mgr.FillPage(name, page, buf); err != nil {
+		return fmt.Errorf("ultrix: external manager failed on %q page %d: %w", name, page, err)
+	}
+	s.extStats.ManagerFills++
+	// The manager maps the page in: an ioctl plus return from signal.
+	s.clock.Advance(s.cost.Mprotect + s.cost.ResumeViaKernel)
+	// Make room if needed — ordinary pages first; page-cache pages only
+	// through manager notice (makeRoom handles both).
+	s.makeRoom()
+	s.resident[key] = &pageInfo{referenced: true}
+	s.order = append(s.order, key)
+	s.clock.Advance(s.cost.UltrixRead4K())
+	return nil
+}
+
+// ReclaimExternal gives page-cache files "sufficient notice": each bound
+// manager is asked to select victims among its resident pages, and those
+// are released. Returns an error only if managers refuse to release
+// anything while memory is needed.
+func (s *System) ReclaimExternal(n int) error {
+	released := 0
+	for name, ef := range s.external() {
+		var resident []int64
+		for key := range s.resident {
+			if key.obj == "ext:"+name {
+				resident = append(resident, key.page)
+			}
+		}
+		if len(resident) == 0 {
+			continue
+		}
+		// Notice costs a signal round trip to the manager.
+		s.clock.Advance(s.cost.SignalDeliver + s.cost.ResumeViaKernel)
+		victims := ef.mgr.SelectVictims(name, resident, n-released)
+		for _, v := range victims {
+			key := pageKey{obj: "ext:" + name, page: v}
+			if _, ok := s.resident[key]; !ok {
+				continue
+			}
+			delete(s.resident, key)
+			s.extStats.NoticeReclaims++
+			released++
+		}
+		if released >= n {
+			return nil
+		}
+	}
+	if released == 0 {
+		return fmt.Errorf("ultrix: external managers released no pages under notice")
+	}
+	return nil
+}
+
+// ExternalResident reports the resident pages of a page-cache file (the
+// control-visibility the retrofit grants: the manager can know its cache).
+func (s *System) ExternalResident(name string) []int64 {
+	var out []int64
+	for key := range s.resident {
+		if key.obj == "ext:"+name {
+			out = append(out, key.page)
+		}
+	}
+	return out
+}
+
+// MeasureExternalFault reports the cost of one externally-handled miss
+// with a no-I/O manager, for Table 1-style comparison with V++'s 107 µs.
+func (s *System) MeasureExternalFault(name string, page int64) (time.Duration, error) {
+	start := s.clock.Now()
+	err := s.ReadExternal(name, page)
+	return s.clock.Now() - start, err
+}

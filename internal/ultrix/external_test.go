@@ -1,0 +1,159 @@
+package ultrix
+
+import (
+	"testing"
+	"time"
+
+	"epcm/internal/sim"
+	"epcm/internal/storage"
+)
+
+// testExtManager fills pages with a marker byte and picks the lowest pages
+// as victims.
+type testExtManager struct {
+	fills   int
+	notices int
+}
+
+func (m *testExtManager) FillPage(file string, page int64, buf []byte) error {
+	m.fills++
+	buf[0] = byte(page)
+	return nil
+}
+
+func (m *testExtManager) SelectVictims(file string, resident []int64, n int) []int64 {
+	m.notices++
+	if n > len(resident) {
+		n = len(resident)
+	}
+	// Lowest page numbers first — an application-specific policy the
+	// kernel could never know.
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		best := int64(-1)
+		for _, p := range resident {
+			taken := false
+			for _, o := range out {
+				if o == p {
+					taken = true
+				}
+			}
+			if !taken && (best < 0 || p < best) {
+				best = p
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+func newExternalSystem(memPages int) (*System, *testExtManager, *sim.Clock) {
+	var clock sim.Clock
+	store := storage.NewStore(&clock, storage.Prefilled(), 4096)
+	s := New(&clock, sim.DECstation5000(), store, memPages)
+	mgr := &testExtManager{}
+	s.SetPageCacheFile("db", mgr)
+	return s, mgr, &clock
+}
+
+func TestExternalFaultForwardsToManager(t *testing.T) {
+	s, mgr, _ := newExternalSystem(64)
+	if err := s.ReadExternal("db", 5); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.fills != 1 {
+		t.Fatalf("fills = %d", mgr.fills)
+	}
+	if s.ExternalStatsSnapshot().ExternalFaults != 1 {
+		t.Fatal("external fault not counted")
+	}
+	// Cached re-read: no manager involvement.
+	if err := s.ReadExternal("db", 5); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.fills != 1 {
+		t.Fatal("cached read hit the manager")
+	}
+}
+
+func TestExternalFaultNotCheaperThanVpp(t *testing.T) {
+	s, _, _ := newExternalSystem(64)
+	d, err := s.MeasureExternalFault("db", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The retrofit pays the signal path: trap 20 + signal 70 + mprotect 30
+	// + resume 32 = 152µs of delivery, plus the cached read completing.
+	// V++ pays 107µs total for the same control.
+	delivery := d - s.cost.UltrixRead4K()
+	if delivery != 152*time.Microsecond {
+		t.Fatalf("retrofit delivery cost %v, want 152µs", delivery)
+	}
+	if delivery <= 107*time.Microsecond {
+		t.Fatal("retrofit should not beat V++'s native path")
+	}
+}
+
+func TestExternalPagesSurviveKernelClock(t *testing.T) {
+	s, _, _ := newExternalSystem(8)
+	// Fill 4 external pages, then pressure the machine with ordinary
+	// region pages: the clock must evict only the ordinary pages.
+	for p := int64(0); p < 4; p++ {
+		if err := s.ReadExternal("db", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := s.NewRegion("heap")
+	for p := int64(0); p < 20; p++ {
+		r.Touch(p, true)
+	}
+	if got := len(s.ExternalResident("db")); got != 4 {
+		t.Fatalf("external pages resident = %d, want 4 (not reclaimed without notice)", got)
+	}
+}
+
+func TestNoticeReclaimUsesManagerPolicy(t *testing.T) {
+	s, mgr, _ := newExternalSystem(4)
+	// The whole machine is external pages; the next miss must obtain a
+	// frame through victim selection.
+	for p := int64(0); p < 4; p++ {
+		if err := s.ReadExternal("db", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.ReadExternal("db", 9); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.notices == 0 {
+		t.Fatal("manager never notified")
+	}
+	res := s.ExternalResident("db")
+	for _, p := range res {
+		if p == 0 {
+			t.Fatal("manager chose lowest-page victims, but page 0 survived")
+		}
+	}
+	if s.ExternalStatsSnapshot().NoticeReclaims == 0 {
+		t.Fatal("notice reclaim not counted")
+	}
+}
+
+func TestReadExternalOfUnregisteredFileFails(t *testing.T) {
+	s, _, _ := newExternalSystem(16)
+	if err := s.ReadExternal("not-registered", 0); err == nil {
+		t.Fatal("unregistered file accepted")
+	}
+}
+
+func TestExternalManagerSeesResidency(t *testing.T) {
+	s, _, _ := newExternalSystem(64)
+	for _, p := range []int64{2, 7, 9} {
+		if err := s.ReadExternal("db", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := s.ExternalResident("db")
+	if len(res) != 3 {
+		t.Fatalf("resident = %v", res)
+	}
+}

@@ -1,0 +1,332 @@
+// Package ultrix models the comparison baseline of the paper's evaluation:
+// ULTRIX 4.1 on the same DECstation 5000/200. It is a conventional,
+// transparent kernel virtual memory system — the design the paper argues
+// against — with exactly the behavioural differences the paper measures:
+//
+//   - page allocation zero-fills every page, for security (75 µs of the
+//     fault path, §3.1);
+//   - all fault handling is inside the kernel; applications can neither see
+//     nor influence the page cache;
+//   - the only user-level hook is a signal handler plus mprotect (152 µs
+//     per protection fault, §3.1);
+//   - the unit of file I/O is 8 KB, twice V++'s (§3.2);
+//   - page replacement is a global in-kernel clock; dirty pages are always
+//     written back — there is no way to tell the kernel a page is garbage
+//     (the Subramanian discussion of §4).
+package ultrix
+
+import (
+	"fmt"
+	"time"
+
+	"epcm/internal/sim"
+	"epcm/internal/storage"
+)
+
+// IOUnitPages is the ULTRIX file I/O transfer unit in 4 KB pages (8 KB).
+const IOUnitPages = 2
+
+// pageKey identifies one 4 KB page of an object (file or region).
+type pageKey struct {
+	obj  string
+	page int64
+}
+
+type pageInfo struct {
+	dirty      bool
+	referenced bool
+	protected  bool // user mprotect PROT_NONE
+}
+
+// Stats counts baseline-system activity.
+type Stats struct {
+	Faults      int64 // kernel page faults
+	ZeroFills   int64 // security zeroing on allocation
+	PageIns     int64 // faults requiring device I/O
+	PageOuts    int64 // dirty evictions written to the device
+	Evictions   int64
+	ReadCalls   int64 // read(2) system calls
+	WriteCalls  int64 // write(2) system calls
+	UserFaults  int64 // SIGSEGV deliveries to user handlers
+	MprotectOps int64
+}
+
+// System is the simulated ULTRIX machine.
+type System struct {
+	clock    *sim.Clock
+	cost     *sim.CostModel
+	store    *storage.Store
+	memPages int
+
+	resident map[pageKey]*pageInfo
+	order    []pageKey // clock order
+	hand     int
+
+	fileSizes map[string]int64 // in 4 KB pages
+	stats     Stats
+
+	// §2.4 retrofit state: page-cache files and their counters.
+	externals map[string]*externalFile
+	extStats  ExternalStats
+}
+
+// New builds an ULTRIX system with the given physical memory (in 4 KB
+// pages) over a block store (a local disk in the paper's configuration).
+func New(clock *sim.Clock, cost *sim.CostModel, store *storage.Store, memPages int) *System {
+	if memPages <= 0 {
+		panic("ultrix: memory must be positive")
+	}
+	return &System{
+		clock:     clock,
+		cost:      cost,
+		store:     store,
+		memPages:  memPages,
+		resident:  make(map[pageKey]*pageInfo),
+		fileSizes: make(map[string]int64),
+	}
+}
+
+// Clock returns the system's virtual clock.
+func (s *System) Clock() *sim.Clock { return s.clock }
+
+// Stats returns a snapshot of the counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the activity counters (resident state is kept), so a
+// measured run can start after cache-warming setup.
+func (s *System) ResetStats() { s.stats = Stats{} }
+
+// ResidentPages reports the pages currently in the buffer cache / memory.
+func (s *System) ResidentPages() int { return len(s.resident) }
+
+// ensureResident brings one page in, evicting as needed, and reports the
+// pageInfo. `backed` pages whose data exists on the device pay a device
+// fetch; fresh pages pay the security zero-fill.
+func (s *System) ensureResident(key pageKey, backed bool) *pageInfo {
+	if pi, ok := s.resident[key]; ok {
+		pi.referenced = true
+		return pi
+	}
+	s.stats.Faults++
+	s.clock.Advance(s.cost.Trap + s.cost.KernelCall)
+	s.makeRoom()
+	onDevice := backed && key.page < s.store.Size(key.obj)
+	if onDevice {
+		// Page-in from the device.
+		buf := make([]byte, 4096)
+		if err := s.store.Fetch(key.obj, key.page, buf); err == nil {
+			s.stats.PageIns++
+		}
+	} else {
+		// Fresh allocation: ULTRIX zero-fills for security.
+		s.clock.Advance(s.cost.ZeroPage)
+		s.stats.ZeroFills++
+	}
+	s.clock.Advance(s.cost.MappingUpdate*2 + s.cost.ResumeViaKernel + s.cost.UltrixFaultExtra)
+	pi := &pageInfo{referenced: true}
+	s.resident[key] = pi
+	s.order = append(s.order, key)
+	return pi
+}
+
+// makeRoom evicts until a frame is free, falling back to external-manager
+// notice when only page-cache files' pages remain.
+func (s *System) makeRoom() {
+	for len(s.resident) >= s.memPages {
+		before := len(s.resident)
+		s.evictOne()
+		if len(s.resident) == before {
+			// Only external (page-cache file) pages remain: they are not
+			// reclaimed without notice to their managers.
+			if err := s.ReclaimExternal(1); err != nil {
+				panic("ultrix: memory exhausted and external managers released nothing")
+			}
+		}
+	}
+}
+
+// evictOne runs the global clock: second chance on referenced pages, dirty
+// victims are written back (there is no discard). Pages of page-cache
+// files (the §2.4 retrofit) are skipped: they are reclaimed only through
+// manager notice.
+func (s *System) evictOne() {
+	for sweep := 0; sweep < 2*len(s.order)+1; sweep++ {
+		if len(s.order) == 0 {
+			return
+		}
+		if s.hand >= len(s.order) {
+			s.hand = 0
+		}
+		key := s.order[s.hand]
+		if len(key.obj) > 4 && key.obj[:4] == "ext:" {
+			s.hand++
+			continue
+		}
+		pi, ok := s.resident[key]
+		if !ok {
+			s.order[s.hand] = s.order[len(s.order)-1]
+			s.order = s.order[:len(s.order)-1]
+			continue
+		}
+		if pi.referenced {
+			pi.referenced = false
+			s.hand++
+			continue
+		}
+		if pi.dirty {
+			buf := make([]byte, 4096)
+			if err := s.store.Store(key.obj, key.page, buf); err == nil {
+				s.stats.PageOuts++
+			}
+		}
+		delete(s.resident, key)
+		s.order[s.hand] = s.order[len(s.order)-1]
+		s.order = s.order[:len(s.order)-1]
+		s.stats.Evictions++
+		return
+	}
+}
+
+// --- File I/O (read/write system calls, 8 KB transfer unit) ---
+
+// File is an open ULTRIX file.
+type File struct {
+	s    *System
+	name string
+}
+
+// OpenFile opens a file by name (sizes come from the store).
+func (s *System) OpenFile(name string) *File {
+	if _, ok := s.fileSizes[name]; !ok {
+		s.fileSizes[name] = s.store.Size(name)
+	}
+	return &File{s: s, name: name}
+}
+
+// SizePages reports the file length in 4 KB pages.
+func (f *File) SizePages() int64 { return f.s.fileSizes[f.name] }
+
+// ReadUnit performs one read(2) of the 8 KB I/O unit starting at 4 KB page
+// `page`. Cached pages cost the Table 1 syscall path; uncached pages fault
+// in first.
+func (f *File) ReadUnit(page int64) {
+	f.s.stats.ReadCalls++
+	// One system call moves IOUnitPages pages: one kernel entry, one copy
+	// and buffer-cache lookup per page.
+	f.s.clock.Advance(f.s.cost.KernelCall)
+	for i := int64(0); i < IOUnitPages; i++ {
+		f.s.ensureResident(pageKey{obj: f.name, page: page + i}, true)
+		f.s.clock.Advance(f.s.cost.CopyPage + f.s.cost.UltrixReadExtra)
+	}
+}
+
+// WriteUnit performs one write(2) of the 8 KB unit starting at `page`.
+// ULTRIX allocates (and zero-fills) buffer pages on the write path.
+func (f *File) WriteUnit(page int64) {
+	f.s.stats.WriteCalls++
+	f.s.clock.Advance(f.s.cost.KernelCall)
+	for i := int64(0); i < IOUnitPages; i++ {
+		key := pageKey{obj: f.name, page: page + i}
+		fresh := false
+		if _, ok := f.s.resident[key]; !ok && key.page >= f.s.store.Size(f.name) {
+			fresh = true
+		}
+		pi := f.s.ensureResident(key, true)
+		pi.dirty = true
+		if !fresh {
+			// Overwrite of existing data still pays the buffer zeroing in
+			// the Table 1 write path.
+			f.s.clock.Advance(f.s.cost.ZeroPage)
+			f.s.stats.ZeroFills++
+		}
+		f.s.clock.Advance(f.s.cost.CopyPage + f.s.cost.MappingUpdate*2 + f.s.cost.UltrixWriteExtra)
+		if key.page+1 > f.s.fileSizes[f.name] {
+			f.s.fileSizes[f.name] = key.page + 1
+		}
+	}
+}
+
+// Read4K performs a 4 KB read(2) — the exact Table 1 measurement.
+func (f *File) Read4K(page int64) {
+	f.s.stats.ReadCalls++
+	f.s.ensureResident(pageKey{obj: f.name, page: page}, true)
+	f.s.clock.Advance(f.s.cost.UltrixRead4K())
+}
+
+// Write4K performs a 4 KB write(2) — the exact Table 1 measurement.
+func (f *File) Write4K(page int64) {
+	f.s.stats.WriteCalls++
+	key := pageKey{obj: f.name, page: page}
+	pi := f.s.ensureResident(key, true)
+	pi.dirty = true
+	f.s.clock.Advance(f.s.cost.UltrixWrite4K())
+	if page+1 > f.s.fileSizes[f.name] {
+		f.s.fileSizes[f.name] = page + 1
+	}
+}
+
+// --- Anonymous memory (heap) ---
+
+// Region is an anonymous memory region (heap, stack).
+type Region struct {
+	s    *System
+	name string
+}
+
+// NewRegion creates an anonymous region.
+func (s *System) NewRegion(name string) *Region {
+	return &Region{s: s, name: "region:" + name}
+}
+
+// Touch references one page of the region. First touches fault and
+// zero-fill; swapped-out pages page in from swap.
+func (r *Region) Touch(page int64, write bool) {
+	key := pageKey{obj: r.name, page: page}
+	if pi, ok := r.s.resident[key]; ok {
+		if pi.protected {
+			r.s.userFault(pi)
+		}
+		pi.referenced = true
+		if write {
+			pi.dirty = true
+		}
+		return
+	}
+	pi := r.s.ensureResident(key, true)
+	if write {
+		pi.dirty = true
+	}
+}
+
+// Mprotect changes a page's protection (the user-level fault handler
+// building block, §3.1).
+func (r *Region) Mprotect(page int64, deny bool) {
+	r.s.stats.MprotectOps++
+	r.s.clock.Advance(r.s.cost.Mprotect)
+	key := pageKey{obj: r.name, page: page}
+	if pi, ok := r.s.resident[key]; ok {
+		pi.protected = deny
+	}
+}
+
+// userFault models a protection fault delivered to a user signal handler
+// that re-enables the page with mprotect and returns: the paper's 152 µs
+// ULTRIX measurement.
+func (s *System) userFault(pi *pageInfo) {
+	s.stats.UserFaults++
+	s.clock.Advance(s.cost.UltrixUserFaultHandler())
+	s.stats.MprotectOps++
+	pi.protected = false
+}
+
+// MinimalFault exercises the kernel's minimal fault path once, for
+// measurement: a first touch of a fresh anonymous page.
+func (s *System) MinimalFault(region *Region, page int64) time.Duration {
+	start := s.clock.Now()
+	region.Touch(page, true)
+	return s.clock.Now() - start
+}
+
+func (s *System) String() string {
+	return fmt.Sprintf("ultrix(mem=%d pages, resident=%d)", s.memPages, len(s.resident))
+}

@@ -1,0 +1,164 @@
+package ultrix
+
+import (
+	"testing"
+	"time"
+
+	"epcm/internal/sim"
+	"epcm/internal/storage"
+)
+
+func newSystem(memPages int) (*System, *sim.Clock, *storage.Store) {
+	var clock sim.Clock
+	store := storage.NewStore(&clock, storage.LocalDisk(), 4096)
+	return New(&clock, sim.DECstation5000(), store, memPages), &clock, store
+}
+
+// Table 1 row 1 (Ultrix column): the minimal kernel fault costs 175 µs,
+// including the 75 µs security zero-fill.
+func TestMinimalFaultCost(t *testing.T) {
+	s, _, _ := newSystem(256)
+	r := s.NewRegion("heap")
+	got := s.MinimalFault(r, 0)
+	if got != 175*time.Microsecond {
+		t.Fatalf("minimal fault = %v, want 175µs", got)
+	}
+	if s.Stats().ZeroFills != 1 {
+		t.Fatalf("zero fills = %d", s.Stats().ZeroFills)
+	}
+}
+
+// §3.1: the user-level fault handler (signal + mprotect) costs 152 µs.
+func TestUserLevelFaultHandlerCost(t *testing.T) {
+	s, clock, _ := newSystem(256)
+	r := s.NewRegion("heap")
+	r.Touch(0, true)
+	r.Mprotect(0, true)
+	start := clock.Now()
+	r.Touch(0, false) // faults to the user handler, which unprotects
+	if got := clock.Now() - start; got != 152*time.Microsecond {
+		t.Fatalf("user fault = %v, want 152µs", got)
+	}
+	if s.Stats().UserFaults != 1 {
+		t.Fatalf("user faults = %d", s.Stats().UserFaults)
+	}
+	// The page is unprotected now; re-touch is silent.
+	start = clock.Now()
+	r.Touch(0, false)
+	if clock.Now() != start {
+		t.Fatal("unprotected touch charged time")
+	}
+}
+
+// Table 1 rows 3-4: cached 4 KB read costs 211 µs and write 311 µs.
+func TestCached4KReadWriteCosts(t *testing.T) {
+	s, clock, store := newSystem(256)
+	store.Preload("f", 4, nil)
+	f := s.OpenFile("f")
+	f.Read4K(0) // warm the cache (pays a fault)
+	start := clock.Now()
+	f.Read4K(0)
+	if got := clock.Now() - start; got != 211*time.Microsecond {
+		t.Fatalf("cached read = %v, want 211µs", got)
+	}
+	start = clock.Now()
+	f.Write4K(0)
+	if got := clock.Now() - start; got != 311*time.Microsecond {
+		t.Fatalf("cached write = %v, want 311µs", got)
+	}
+}
+
+// §3.2: the 8 KB I/O unit means half as many system calls as V++ for the
+// same bytes, and one 8 KB read is cheaper than two 4 KB reads.
+func TestIOUnitBatching(t *testing.T) {
+	s, clock, store := newSystem(256)
+	store.Preload("f", 8, nil)
+	f := s.OpenFile("f")
+	// Warm all pages.
+	for p := int64(0); p < 8; p += IOUnitPages {
+		f.ReadUnit(p)
+	}
+	start := clock.Now()
+	f.ReadUnit(0)
+	unit := clock.Now() - start
+	start = clock.Now()
+	f.Read4K(0)
+	f.Read4K(1)
+	two4k := clock.Now() - start
+	if unit >= two4k {
+		t.Fatalf("8KB unit (%v) should be cheaper than two 4KB reads (%v)", unit, two4k)
+	}
+}
+
+func TestPageInFromDisk(t *testing.T) {
+	s, clock, store := newSystem(256)
+	store.Preload("f", 2, nil)
+	f := s.OpenFile("f")
+	start := clock.Now()
+	f.Read4K(0)
+	if clock.Now()-start < 10*time.Millisecond {
+		t.Fatalf("cold read took %v, expected disk latency", clock.Now()-start)
+	}
+	if s.Stats().PageIns != 1 {
+		t.Fatalf("page-ins = %d", s.Stats().PageIns)
+	}
+}
+
+func TestEvictionWritesBackDirty(t *testing.T) {
+	s, _, store := newSystem(4)
+	r := s.NewRegion("heap")
+	for p := int64(0); p < 4; p++ {
+		r.Touch(p, true)
+	}
+	// Clear the reference bits with one sweep (touch a 5th page twice; the
+	// first eviction pass clears bits, a later one evicts).
+	writes := store.Writes()
+	for p := int64(4); p < 10; p++ {
+		r.Touch(p, true)
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("no evictions despite memory pressure")
+	}
+	if store.Writes() == writes {
+		t.Fatal("dirty evictions did not write back — Ultrix cannot discard")
+	}
+	if s.ResidentPages() > 4 {
+		t.Fatalf("resident %d exceeds memory %d", s.ResidentPages(), 4)
+	}
+}
+
+func TestSwappedPageReturnsFromSwap(t *testing.T) {
+	s, _, _ := newSystem(4)
+	r := s.NewRegion("heap")
+	for p := int64(0); p < 12; p++ {
+		r.Touch(p, true)
+	}
+	pageIns := s.Stats().PageIns
+	r.Touch(0, false) // long evicted; if its data went to swap, it returns
+	if s.Stats().PageIns != pageIns+1 && s.Stats().ZeroFills == 0 {
+		t.Fatal("re-touch neither paged in nor re-allocated")
+	}
+}
+
+func TestFreshTouchesZeroFill(t *testing.T) {
+	s, _, _ := newSystem(256)
+	r := s.NewRegion("heap")
+	for p := int64(0); p < 10; p++ {
+		r.Touch(p, true)
+	}
+	if s.Stats().ZeroFills != 10 {
+		t.Fatalf("zero fills = %d, want 10", s.Stats().ZeroFills)
+	}
+}
+
+func TestWriteExtendsFile(t *testing.T) {
+	s, _, _ := newSystem(256)
+	f := s.OpenFile("new")
+	if f.SizePages() != 0 {
+		t.Fatalf("new file size = %d", f.SizePages())
+	}
+	f.WriteUnit(0)
+	if f.SizePages() != 2 {
+		t.Fatalf("size after 8KB write = %d pages", f.SizePages())
+	}
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"time"
+)
+
+// Synthetic workloads complement the three §3.2 application models: a
+// sequential scan (the streaming pattern of large-data computations) and a
+// uniformly random reference pattern (the hostile case for every LRU-like
+// policy). Both are sized by parameters rather than calibrated to paper
+// measurements; they drive the same Runner interface, so they run on
+// either system.
+
+// Scan builds a sequential-scan workload: read an input of `pages` pages,
+// touch a heap of `heapPages`, write an output of `outPages`, repeated
+// `passes` times with `compute` between passes.
+func Scan(pages, heapPages, outPages int64, passes int, compute time.Duration) Spec {
+	steps := make([]Step, 0, passes*3+1)
+	for i := 0; i < passes; i++ {
+		steps = append(steps,
+			Step{ReadFile: "scan-input"},
+			Step{HeapTouch: heapPages, HeapName: "scan-heap"},
+		)
+		if compute > 0 {
+			steps = append(steps, Step{Compute: compute})
+		}
+	}
+	steps = append(steps, Step{WriteFile: "scan-output", WritePages: outPages})
+	return Spec{
+		Name:          "scan",
+		Inputs:        map[string]int64{"scan-input": pages},
+		Steps:         steps,
+		UltrixElapsed: 0, // not calibrated: synthetic
+	}
+}
+
+// RandomTouch builds a random-reference workload over a heap of
+// `heapPages`, performing `touches` accesses with the given seed. It uses
+// the RandomHeap step type so runners replay identical reference strings.
+func RandomTouch(heapPages int64, touches int, seed uint64) Spec {
+	return Spec{
+		Name:   "random",
+		Inputs: map[string]int64{},
+		Steps: []Step{
+			{RandomTouches: touches, HeapTouch: heapPages, HeapName: "rand-heap", Seed: seed},
+		},
+	}
+}
+
+// Synthetic lists the synthetic workloads at default sizes.
+func Synthetic() []Spec {
+	return []Spec{
+		Scan(256, 64, 128, 2, 50*time.Millisecond),
+		RandomTouch(128, 2000, 7),
+	}
+}
