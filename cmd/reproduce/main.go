@@ -1,281 +1,126 @@
 // Command reproduce regenerates every table of the paper's evaluation
 // (Harty & Cheriton, ASPLOS 1992) and prints measured-vs-paper values.
 //
+// The selected tables run concurrently on the experiment harness — each
+// builds its own simulator instances, so output is byte-identical at any
+// parallelism level and is printed in table order regardless of which
+// experiment finishes first.
+//
 // Usage:
 //
-//	reproduce              # all tables
-//	reproduce -table 1     # just Table 1
+//	reproduce                        # all tables, GOMAXPROCS-wide
+//	reproduce -table 1               # just Table 1
 //	reproduce -table 4 -txns 8000
+//	reproduce -par 1                 # sequential
+//	reproduce -json BENCH_reproduce.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
-	"epcm/internal/db"
-	"epcm/internal/kernel"
-	"epcm/internal/manager"
-	"epcm/internal/phys"
-	"epcm/internal/sim"
-	"epcm/internal/spcm"
-	"epcm/internal/storage"
-	"epcm/internal/uio"
-	"epcm/internal/ultrix"
-	"epcm/internal/workload"
+	"epcm/internal/experiments"
+	"epcm/internal/harness"
 )
+
+// trajectory is the BENCH_reproduce.json record: one wall-clock and
+// measured-vs-paper snapshot per run, accumulated across the repository's
+// history to track the benchmark trajectory.
+type trajectory struct {
+	Benchmark       string       `json:"benchmark"`
+	GeneratedAt     string       `json:"generated_at"`
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Parallelism     int          `json:"parallelism"`
+	TotalWallMS     float64      `json:"total_wall_ms"`
+	SumTableWallMS  float64      `json:"sum_table_wall_ms"`
+	ParallelSpeedup float64      `json:"parallel_speedup"`
+	Tables          []tableEntry `json:"tables"`
+}
+
+type tableEntry struct {
+	*experiments.Report
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
 
 func main() {
 	table := flag.Int("table", 0, "table to reproduce (1-4); 0 means all")
 	txns := flag.Int("txns", 0, "override Table 4 transaction count")
 	seed := flag.Uint64("seed", 0, "override Table 4 random seed")
 	ablations := flag.Bool("ablations", false, "also print the design-choice ablation summary")
+	par := flag.Int("par", 0, "worker-pool size; 0 means GOMAXPROCS, 1 means sequential")
+	jsonPath := flag.String("json", "", "write a benchmark-trajectory record to this path")
 	flag.Parse()
 
-	ok := true
+	var tasks []harness.Task[*experiments.Report]
+	add := func(name string, run func() (*experiments.Report, error)) {
+		tasks = append(tasks, harness.Task[*experiments.Report]{Name: name, Run: run})
+	}
+	if *table < 0 || *table > 4 {
+		fmt.Fprintf(os.Stderr, "reproduce: no such table %d (want 1-4, or 0 for all)\n", *table)
+		os.Exit(2)
+	}
 	if *table == 0 || *table == 1 {
-		ok = table1() && ok
+		add("table1", experiments.Table1)
 	}
 	if *table == 0 || *table == 2 || *table == 3 {
-		ok = tables2and3() && ok
+		add("tables2-3", experiments.Tables23)
 	}
 	if *table == 0 || *table == 4 {
-		ok = table4(*txns, *seed) && ok
+		add("table4", func() (*experiments.Report, error) { return experiments.Table4(*txns, *seed) })
 	}
 	if *ablations {
-		ablationSummary()
+		add("ablations", experiments.Ablations)
+	}
+
+	start := time.Now()
+	results := harness.Run(tasks, *par)
+	totalWall := time.Since(start)
+
+	ok := true
+	traj := trajectory{
+		Benchmark:   "reproduce",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: harness.Parallelism(*par),
+		TotalWallMS: float64(totalWall.Microseconds()) / 1000,
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", r.Name, r.Err)
+			ok = false
+			continue
+		}
+		rep := r.Value
+		rep.Wall = r.Wall
+		os.Stdout.Write(rep.Output)
+		ok = ok && rep.OK
+		entry := tableEntry{Report: rep, WallMS: float64(r.Wall.Microseconds()) / 1000}
+		if secs := r.Wall.Seconds(); secs > 0 {
+			entry.EventsPerSec = float64(rep.Events) / secs
+		}
+		traj.SumTableWallMS += entry.WallMS
+		traj.Tables = append(traj.Tables, entry)
+	}
+	if traj.TotalWallMS > 0 {
+		traj.ParallelSpeedup = traj.SumTableWallMS / traj.TotalWallMS
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(traj, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce: writing trajectory:", err)
+			ok = false
+		}
 	}
 	if !ok {
-		os.Exit(1)
-	}
-}
-
-// ablationSummary prints quick versions of the design-choice ablations
-// (the full versions are the go test -bench=Ablation benchmarks).
-func ablationSummary() {
-	header("Ablations (design choices)")
-	cost := sim.DECstation5000()
-	fmt.Printf("%-34s %s\n", "fault delivery", fmt.Sprintf("same-process %v, separate-manager %v",
-		cost.VppMinimalFaultSameProcess(), cost.VppMinimalFaultSeparateManager()))
-	fmt.Printf("%-34s %s\n", "zero-fill on allocation",
-		fmt.Sprintf("Ultrix %v with, %v without; V++ needs none",
-			cost.UltrixMinimalFault(), cost.UltrixMinimalFault()-cost.ZeroPage))
-	fmt.Printf("%-34s %s\n", "user-level fault handler",
-		fmt.Sprintf("Ultrix signal+mprotect %v vs V++ full fault %v",
-			cost.UltrixUserFaultHandler(), cost.VppMinimalFaultSameProcess()))
-
-	// Replacement policy: cyclic scan, clock vs MRU.
-	clockFaults, mruFaults := replacementAblation()
-	fmt.Printf("%-34s clock %d faults, app MRU policy %d faults\n", "replacement selection (cyclic scan)", clockFaults, mruFaults)
-	fmt.Println("\n(run `go test -bench=Ablation` for the full ablation suite)")
-}
-
-func replacementAblation() (clockFaults, mruFaults int64) {
-	run := func(policy func([]manager.Victim) int) int64 {
-		mem := phys.NewMemory(phys.Config{FrameSize: 4096, TotalBytes: 1 << 20, StoreData: false})
-		var clock sim.Clock
-		k := kernel.New(mem, &clock, sim.DECstation5000(), kernel.Config{})
-		store := storage.NewStore(&clock, storage.LocalDisk(), 4096)
-		pool, err := manager.NewFixedPool(k, 64, 0)
-		check(err)
-		g, err := manager.NewGeneric(k, manager.Config{
-			Name: "scan", Source: pool, Backing: manager.NewSwapBacking(store), SelectVictim: policy,
-		})
-		check(err)
-		seg, err := g.CreateManagedSegment("data")
-		check(err)
-		for pass := 0; pass < 4; pass++ {
-			for p := int64(0); p < 128; p++ {
-				check(k.Access(seg, p, kernel.Read))
-			}
-		}
-		return g.Stats().Faults
-	}
-	return run(nil), run(manager.MRUVictim)
-}
-
-func header(s string) {
-	fmt.Printf("\n%s\n", s)
-	for range s {
-		fmt.Print("=")
-	}
-	fmt.Println()
-}
-
-// table1 measures the system primitives through the real code paths.
-func table1() bool {
-	header("Table 1: System Primitive Times (microseconds)")
-
-	vppFault := measureVppFault(kernel.DeliverSameProcess)
-	vppMgr := measureVppFault(kernel.DeliverSeparateProcess)
-	vppRead, vppWrite := measureVppIO()
-	ultFault, ultRead, ultWrite, ultUser := measureUltrix()
-
-	fmt.Printf("%-38s %10s %10s %10s\n", "Measurement", "V++", "Ultrix", "Paper")
-	rows := []struct {
-		name        string
-		vpp, ultrix time.Duration
-		paper       string
-	}{
-		{"Faulting Process Minimal Fault", vppFault, ultFault, "107 / 175"},
-		{"Default Segment Manager Minimal Fault", vppMgr, ultFault, "379 / 175"},
-		{"Read 4KB", vppRead, ultRead, "222 / 211"},
-		{"Write 4KB", vppWrite, ultWrite, "203 / 311"},
-		{"User-level fault handler (Ultrix)", 0, ultUser, "- / 152"},
-	}
-	for _, r := range rows {
-		fmt.Printf("%-38s %10d %10d %10s\n", r.name,
-			r.vpp.Microseconds(), r.ultrix.Microseconds(), r.paper)
-	}
-	return vppFault == 107*time.Microsecond && vppMgr == 379*time.Microsecond &&
-		vppRead == 222*time.Microsecond && vppWrite == 203*time.Microsecond &&
-		ultFault == 175*time.Microsecond && ultUser == 152*time.Microsecond
-}
-
-func measureVppFault(d kernel.DeliveryMode) time.Duration {
-	mem := phys.NewMemory(phys.Config{FrameSize: 4096, TotalBytes: 8 << 20, StoreData: true})
-	var clock sim.Clock
-	k := kernel.New(mem, &clock, sim.DECstation5000(), kernel.Config{})
-	s := spcm.New(k, spcm.DefaultPolicy())
-	g, err := manager.NewGeneric(k, manager.Config{Name: "m", Delivery: d, Source: s})
-	check(err)
-	s.Register(g, "m", 1e9)
-	seg, err := g.CreateManagedSegment("seg")
-	check(err)
-	check(g.EnsureFree(16))
-	start := clock.Now()
-	check(k.Access(seg, 0, kernel.Write))
-	return clock.Now() - start
-}
-
-func measureVppIO() (read, write time.Duration) {
-	mem := phys.NewMemory(phys.Config{FrameSize: 4096, TotalBytes: 8 << 20, StoreData: true})
-	var clock sim.Clock
-	k := kernel.New(mem, &clock, sim.DECstation5000(), kernel.Config{})
-	store := storage.NewStore(&clock, storage.NetworkServer(), 4096)
-	s := spcm.New(k, spcm.DefaultPolicy())
-	fb := manager.NewFileBacking(store)
-	g, err := manager.NewGeneric(k, manager.Config{Name: "m", Source: s, Backing: fb})
-	check(err)
-	s.Register(g, "m", 1e9)
-	seg, err := g.CreateManagedSegment("file")
-	check(err)
-	fb.BindFile(seg, "file")
-	// Warm one page.
-	check(k.Access(seg, 0, kernel.Write))
-
-	f := uio.Open(k, seg, "file", 1)
-	buf := make([]byte, 4096)
-	start := clock.Now()
-	check(f.ReadBlock(0, buf))
-	read = clock.Now() - start
-	start = clock.Now()
-	check(f.WriteBlock(0, buf))
-	write = clock.Now() - start
-	return read, write
-}
-
-func measureUltrix() (fault, read, write, user time.Duration) {
-	var clock sim.Clock
-	store := storage.NewStore(&clock, storage.LocalDisk(), 4096)
-	store.Preload("f", 2, nil)
-	s := ultrix.New(&clock, sim.DECstation5000(), store, 4096)
-	region := s.NewRegion("heap")
-	fault = s.MinimalFault(region, 0)
-
-	f := s.OpenFile("f")
-	f.Read4K(0)
-	start := clock.Now()
-	f.Read4K(0)
-	read = clock.Now() - start
-	f.Write4K(0)
-	start = clock.Now()
-	f.Write4K(0)
-	write = clock.Now() - start
-
-	region.Touch(5, true)
-	region.Mprotect(5, true)
-	start = clock.Now()
-	region.Touch(5, false)
-	user = clock.Now() - start
-	return
-}
-
-func tables2and3() bool {
-	header("Table 2: Application Elapsed Time (seconds) / Table 3: VM System Activity")
-	fmt.Printf("%-11s | %8s %8s %8s %8s | %6s %6s %7s %7s %9s %9s\n",
-		"Program", "V++", "paper", "Ultrix", "paper", "Calls", "paper", "Migrate", "paper", "Ovhd(ms)", "paper")
-	ok := true
-	for _, spec := range workload.All() {
-		cal, err := workload.Calibrated(spec)
-		check(err)
-		vr, err := workload.NewVppRunner(0)
-		check(err)
-		ve, vc, err := workload.Run(vr, cal)
-		check(err)
-		ur := workload.NewUltrixRunner(0)
-		ue, _, err := workload.Run(ur, cal)
-		check(err)
-		overhead := time.Duration(vc.ManagerCalls) * 204 * time.Microsecond
-		fmt.Printf("%-11s | %8.2f %8.2f %8.2f %8.2f | %6d %6d %7d %7d %9.0f %9d\n",
-			spec.Name, ve.Seconds(), spec.PaperVppElapsed.Seconds(),
-			ue.Seconds(), spec.UltrixElapsed.Seconds(),
-			vc.ManagerCalls, spec.PaperCalls, vc.MigrateCalls, spec.PaperMigrates,
-			float64(overhead.Milliseconds()), spec.PaperOverhead.Milliseconds())
-		if diffPct(vc.MigrateCalls, spec.PaperMigrates) > 3 {
-			ok = false
-		}
-	}
-	fmt.Println("\n(The Ultrix column is calibrated to the paper by construction;")
-	fmt.Println(" the V++ column and all Table 3 activity counts are emergent.)")
-	return ok
-}
-
-func diffPct(got, want int64) int64 {
-	d := got - want
-	if d < 0 {
-		d = -d
-	}
-	if want == 0 {
-		return 0
-	}
-	return d * 100 / want
-}
-
-func table4(txns int, seed uint64) bool {
-	header("Table 4: Effect of Memory Usage on Transaction Response (ms)")
-	p := db.DefaultParams()
-	if txns > 0 {
-		p.Transactions = txns
-	}
-	if seed != 0 {
-		p.Seed = seed
-	}
-	paper := db.PaperTable4()
-	fmt.Printf("%-22s %10s %10s %12s %12s %8s %8s\n",
-		"Configuration", "Average", "paper", "Worst-case", "paper", "p95", "p99")
-	ok := true
-	for _, r := range db.RunAll(p) {
-		want := paper[r.Config]
-		fmt.Printf("%-22s %10d %10d %12d %12d %8d %8d\n", r.Config,
-			r.Average().Milliseconds(), want[0].Milliseconds(),
-			r.Worst().Milliseconds(), want[1].Milliseconds(),
-			r.Responses.Percentile(95).Milliseconds(),
-			r.Responses.Percentile(99).Milliseconds())
-		if r.Deadlocked != 0 {
-			fmt.Printf("  !! %d processes deadlocked\n", r.Deadlocked)
-			ok = false
-		}
-	}
-	fmt.Printf("\n(%d transactions, %d processors, %.0f tps, %.0f%% joins, seed %d)\n",
-		p.Transactions, p.Processors, p.ArrivalTPS, p.JoinFraction*100, p.Seed)
-	return ok
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(1)
 	}
 }

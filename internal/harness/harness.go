@@ -1,0 +1,105 @@
+// Package harness runs independent simulation instances concurrently.
+//
+// Every experiment in this repository — a table of the paper, an ablation
+// arm, one seed of a parameter sweep — constructs its own phys.Memory,
+// sim.Clock and kernel.Kernel, so experiments share no mutable state and are
+// embarrassingly parallel. The harness exploits that: it fans tasks out over
+// a bounded worker pool, collects each task's result (or captured panic),
+// and reports everything in deterministic submission order. A run at any
+// parallelism level therefore produces bit-identical results to a
+// sequential run; only wall-clock time changes.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Task is one unit of work: a named, self-contained experiment. Run must
+// not share mutable state with any other task — each experiment builds its
+// own simulator instances.
+type Task[T any] struct {
+	Name string
+	Run  func() (T, error)
+}
+
+// Result is the outcome of one task. Exactly one of Err or Value is
+// meaningful: Err is non-nil if the task returned an error or panicked (a
+// panic is wrapped in *PanicError). Wall is the task's wall-clock duration.
+type Result[T any] struct {
+	Name  string
+	Value T
+	Err   error
+	Wall  time.Duration
+}
+
+// PanicError is the error recorded when a task panics. The panic is
+// contained to the task — one diverging experiment cannot kill a sweep.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("task panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Parallelism clamps a requested worker count: n <= 0 selects GOMAXPROCS,
+// anything else is returned unchanged.
+func Parallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes tasks on min(Parallelism(par), len(tasks)) workers and
+// returns one Result per task, in submission order. It blocks until every
+// task finishes; task panics are captured into the corresponding Result
+// rather than propagated.
+func Run[T any](tasks []Task[T], par int) []Result[T] {
+	results := make([]Result[T], len(tasks))
+	if len(tasks) == 0 {
+		return results
+	}
+	workers := Parallelism(par)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	// Each worker writes only results[i] for the indices it claims, so the
+	// slice needs no lock.
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = run(tasks[i])
+			}
+		}()
+	}
+	for i := range tasks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// run executes one task with panic capture.
+func run[T any](t Task[T]) (res Result[T]) {
+	res.Name = t.Name
+	start := time.Now()
+	defer func() {
+		res.Wall = time.Since(start)
+		if r := recover(); r != nil {
+			res.Err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	res.Value, res.Err = t.Run()
+	return res
+}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunSubmissionOrder checks results come back in submission order even
+// when earlier tasks finish last.
+func TestRunSubmissionOrder(t *testing.T) {
+	const n = 32
+	tasks := make([]Task[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = Task[int]{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func() (int, error) {
+				// Earlier tasks spin longer, so completion order inverts
+				// submission order under parallelism.
+				for spin := 0; spin < (n-i)*1000; spin++ {
+					_ = spin * spin
+				}
+				return i * i, nil
+			},
+		}
+	}
+	for _, par := range []int{1, 4, 8, n} {
+		results := Run(tasks, par)
+		if len(results) != n {
+			t.Fatalf("par=%d: %d results, want %d", par, len(results), n)
+		}
+		for i, r := range results {
+			if r.Name != fmt.Sprintf("t%d", i) || r.Value != i*i || r.Err != nil {
+				t.Fatalf("par=%d: results[%d] = %+v", par, i, r)
+			}
+		}
+	}
+}
+
+// TestRunPanicCapture checks a panicking task yields a *PanicError with a
+// stack and does not disturb its neighbours.
+func TestRunPanicCapture(t *testing.T) {
+	tasks := []Task[string]{
+		{Name: "ok-before", Run: func() (string, error) { return "a", nil }},
+		{Name: "boom", Run: func() (string, error) { panic("diverged") }},
+		{Name: "ok-after", Run: func() (string, error) { return "b", nil }},
+	}
+	results := Run(tasks, 2)
+	if results[0].Err != nil || results[0].Value != "a" {
+		t.Fatalf("neighbour before: %+v", results[0])
+	}
+	if results[2].Err != nil || results[2].Value != "b" {
+		t.Fatalf("neighbour after: %+v", results[2])
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("panic task error = %v, want *PanicError", results[1].Err)
+	}
+	if pe.Value != "diverged" || len(pe.Stack) == 0 {
+		t.Fatalf("panic capture: value=%v stack=%d bytes", pe.Value, len(pe.Stack))
+	}
+	if !strings.Contains(pe.Error(), "diverged") {
+		t.Fatalf("PanicError.Error() = %q", pe.Error())
+	}
+}
+
+// TestRunTaskErrors checks plain errors pass through untouched.
+func TestRunTaskErrors(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	results := Run([]Task[int]{{Name: "e", Run: func() (int, error) { return 7, sentinel }}}, 0)
+	if !errors.Is(results[0].Err, sentinel) || results[0].Value != 7 {
+		t.Fatalf("result = %+v", results[0])
+	}
+	if results[0].Wall < 0 {
+		t.Fatalf("negative wall time %v", results[0].Wall)
+	}
+}
+
+// TestRunBoundsWorkers checks no more than par tasks run concurrently.
+func TestRunBoundsWorkers(t *testing.T) {
+	const par = 3
+	var inFlight, peak atomic.Int64
+	tasks := make([]Task[struct{}], 24)
+	for i := range tasks {
+		tasks[i] = Task[struct{}]{Name: "t", Run: func() (struct{}, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			runtime.Gosched()
+			inFlight.Add(-1)
+			return struct{}{}, nil
+		}}
+	}
+	Run(tasks, par)
+	if got := peak.Load(); got > par {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", got, par)
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	if got := Parallelism(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Parallelism(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Parallelism(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Parallelism(-3) = %d", got)
+	}
+	if got := Parallelism(5); got != 5 {
+		t.Fatalf("Parallelism(5) = %d", got)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if res := Run[int](nil, 4); len(res) != 0 {
+		t.Fatalf("Run(nil) = %v", res)
+	}
+}

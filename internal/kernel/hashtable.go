@@ -112,7 +112,13 @@ func (t *mappingTable) removeSegment(seg SegID) {
 	}
 }
 
-// Stats for tests and instrumentation.
+// stats reads the counters; resetStats zeroes them. Kernel.Stats and
+// Kernel.ResetStats go through this pair exclusively so a counter added here
+// is automatically reported and cleared together.
 func (t *mappingTable) stats() (hits, misses, spills, drops int64) {
 	return t.hits, t.misses, t.spills, t.drops
+}
+
+func (t *mappingTable) resetStats() {
+	t.hits, t.misses, t.spills, t.drops = 0, 0, 0, 0
 }

@@ -46,6 +46,8 @@ type Stats struct {
 	TLBMisses     int64
 	HashHits      int64
 	HashMisses    int64
+	HashSpills    int64 // displacements into the hash overflow area
+	HashDrops     int64 // displaced mappings lost to a full overflow area
 }
 
 // Kernel is the simulated V++ kernel.
@@ -90,9 +92,15 @@ func New(mem *phys.Memory, clock *sim.Clock, cost *sim.CostModel, cfg Config) *K
 	}
 	boot := k.newSegment("physmem", 1)
 	boot.restricted = true
-	for pfn := 0; pfn < mem.NumFrames(); pfn++ {
-		f := mem.Frame(phys.PFN(pfn))
-		boot.pages[int64(pfn)] = &pageEntry{frames: []*phys.Frame{f}}
+	// Batch-allocate the boot entries: one pageEntry and one frame-pointer
+	// slot per frame, in two allocations instead of 2×NumFrames.
+	n := mem.NumFrames()
+	entries := make([]pageEntry, n)
+	frames := make([]*phys.Frame, n)
+	for pfn := 0; pfn < n; pfn++ {
+		frames[pfn] = mem.Frame(phys.PFN(pfn))
+		entries[pfn].frames = frames[pfn : pfn+1 : pfn+1]
+		boot.pages.put(int64(pfn), &entries[pfn])
 		k.frameOwner[pfn] = boot.id
 		k.framePage[pfn] = int64(pfn)
 	}
@@ -109,19 +117,21 @@ func (k *Kernel) Clock() *sim.Clock { return k.clock }
 // Cost returns the machine cost model.
 func (k *Kernel) Cost() *sim.CostModel { return k.cost }
 
-// Stats returns a snapshot of kernel activity counters.
+// Stats returns a snapshot of kernel activity counters. TLB and mapping
+// hash-table counters are read through the same accessors ResetStats clears,
+// so the two cannot drift.
 func (k *Kernel) Stats() Stats {
 	s := k.stats
-	s.TLBHits, s.TLBMisses = k.tlb.hits, k.tlb.misses
-	s.HashHits, s.HashMisses, _, _ = k.table.stats()
+	s.TLBHits, s.TLBMisses = k.tlb.stats()
+	s.HashHits, s.HashMisses, s.HashSpills, s.HashDrops = k.table.stats()
 	return s
 }
 
 // ResetStats zeroes the activity counters (not the mapping state).
 func (k *Kernel) ResetStats() {
 	k.stats = Stats{}
-	k.tlb.hits, k.tlb.misses = 0, 0
-	k.table.hits, k.table.misses, k.table.spills, k.table.drops = 0, 0, 0, 0
+	k.tlb.resetStats()
+	k.table.resetStats()
 }
 
 // BootSegment returns the well-known segment of all page frames.
@@ -133,7 +143,6 @@ func (k *Kernel) newSegment(name string, framesPerPage int) *Segment {
 		name:     name,
 		pageSize: framesPerPage * k.mem.FrameSize(),
 		fpp:      framesPerPage,
-		pages:    make(map[int64]*pageEntry),
 		kernel:   k,
 	}
 	k.segs[s.id] = s
@@ -203,14 +212,15 @@ func (k *Kernel) DeleteSegment(cred Cred, s *Segment) error {
 		s.manager.SegmentDeleted(s)
 	}
 	// Reclaim whatever the manager left.
-	for page, e := range s.pages {
+	s.pages.forEach(func(_ int64, e *pageEntry) bool {
 		for _, f := range e.frames {
-			k.boot.pages[int64(f.PFN())] = &pageEntry{frames: []*phys.Frame{f}}
+			k.boot.pages.put(int64(f.PFN()), &pageEntry{frames: []*phys.Frame{f}})
 			k.frameOwner[f.PFN()] = k.boot.id
 			k.framePage[f.PFN()] = int64(f.PFN())
 		}
-		delete(s.pages, page)
-	}
+		return true
+	})
+	s.pages.clear()
 	s.deleted = true
 	delete(k.segs, s.id)
 	k.table.removeSegment(s.id)
@@ -241,10 +251,10 @@ func (k *Kernel) MigratePages(cred Cred, src, dst *Segment, srcPage, dstPage, n 
 		return fmt.Errorf("%w: %s -> %s", ErrPageSizeMismatch, src, dst)
 	}
 	for i := int64(0); i < n; i++ {
-		if _, ok := src.pages[srcPage+i]; !ok {
+		if !src.pages.has(srcPage + i) {
 			return pageError(ErrPageNotPresent, src, srcPage+i)
 		}
-		if _, ok := dst.pages[dstPage+i]; ok {
+		if dst.pages.has(dstPage + i) {
 			return pageError(ErrPageBusy, dst, dstPage+i)
 		}
 	}
@@ -269,10 +279,10 @@ func (k *Kernel) validateMigrate(cred Cred, src, dst *Segment, srcPage, dstPage,
 
 // movePage transfers one page entry and charges the per-page cost.
 func (k *Kernel) movePage(src, dst *Segment, srcPage, dstPage int64, set, clear PageFlags) {
-	e := src.pages[srcPage]
-	delete(src.pages, srcPage)
+	e, _ := src.pages.get(srcPage)
+	src.pages.del(srcPage)
 	e.flags = e.flags.Apply(set, clear)
-	dst.pages[dstPage] = e
+	dst.pages.put(dstPage, e)
 	for _, f := range e.frames {
 		k.frameOwner[f.PFN()] = dst.id
 		k.framePage[f.PFN()] = dstPage
@@ -307,12 +317,12 @@ func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage
 	factor := int64(dst.fpp)
 	// Validate.
 	for i := int64(0); i < n; i++ {
-		if _, ok := dst.pages[dstPage+i]; ok {
+		if dst.pages.has(dstPage + i) {
 			return pageError(ErrPageBusy, dst, dstPage+i)
 		}
 		var prev phys.PFN
 		for j := int64(0); j < factor; j++ {
-			e, ok := src.pages[srcPage+i*factor+j]
+			e, ok := src.pages.get(srcPage + i*factor + j)
 			if !ok {
 				return pageError(ErrPageNotPresent, src, srcPage+i*factor+j)
 			}
@@ -329,10 +339,10 @@ func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage
 		var flags PageFlags
 		for j := int64(0); j < factor; j++ {
 			sp := srcPage + i*factor + j
-			e := src.pages[sp]
+			e, _ := src.pages.get(sp)
 			flags |= e.flags
 			frames = append(frames, e.frames...)
-			delete(src.pages, sp)
+			src.pages.del(sp)
 			key := mapKey{src.id, sp}
 			k.table.remove(key)
 			k.tlb.invalidate(key)
@@ -340,7 +350,7 @@ func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage
 			k.stats.MigratedPages++
 		}
 		ne := &pageEntry{frames: frames, flags: flags.Apply(set, clear)}
-		dst.pages[dstPage+i] = ne
+		dst.pages.put(dstPage+i, ne)
 		for _, f := range frames {
 			k.frameOwner[f.PFN()] = dst.id
 			k.framePage[f.PFN()] = dstPage + i
@@ -363,25 +373,25 @@ func (k *Kernel) MigrateSplit(cred Cred, src, dst *Segment, srcPage, dstPage, n 
 	}
 	factor := int64(src.fpp)
 	for i := int64(0); i < n; i++ {
-		if _, ok := src.pages[srcPage+i]; !ok {
+		if !src.pages.has(srcPage + i) {
 			return pageError(ErrPageNotPresent, src, srcPage+i)
 		}
 		for j := int64(0); j < factor; j++ {
-			if _, ok := dst.pages[dstPage+i*factor+j]; ok {
+			if dst.pages.has(dstPage + i*factor + j) {
 				return pageError(ErrPageBusy, dst, dstPage+i*factor+j)
 			}
 		}
 	}
 	for i := int64(0); i < n; i++ {
-		e := src.pages[srcPage+i]
-		delete(src.pages, srcPage+i)
+		e, _ := src.pages.get(srcPage + i)
+		src.pages.del(srcPage + i)
 		key := mapKey{src.id, srcPage + i}
 		k.table.remove(key)
 		k.tlb.invalidate(key)
 		for j, f := range e.frames {
 			dp := dstPage + i*factor + int64(j)
 			ne := &pageEntry{frames: []*phys.Frame{f}, flags: e.flags.Apply(set, clear)}
-			dst.pages[dp] = ne
+			dst.pages.put(dp, ne)
 			k.frameOwner[f.PFN()] = dst.id
 			k.framePage[f.PFN()] = dp
 			k.table.insert(mapKey{dst.id, dp}, ne)
@@ -407,12 +417,12 @@ func (k *Kernel) ModifyPageFlags(cred Cred, s *Segment, page, n int64, set, clea
 		return err
 	}
 	for i := int64(0); i < n; i++ {
-		if _, ok := s.pages[page+i]; !ok {
+		if !s.pages.has(page + i) {
 			return pageError(ErrPageNotPresent, s, page+i)
 		}
 	}
 	for i := int64(0); i < n; i++ {
-		e := s.pages[page+i]
+		e, _ := s.pages.get(page + i)
 		e.flags = e.flags.Apply(set, clear)
 		// Cached translations may now be stale (e.g. protection tightened).
 		key := mapKey{s.id, page + i}
@@ -449,7 +459,7 @@ func (k *Kernel) GetPageAttributes(s *Segment, page, n int64) ([]PageAttribute, 
 	out := make([]PageAttribute, n)
 	for i := int64(0); i < n; i++ {
 		a := PageAttribute{Page: page + i, PFN: phys.NoFrame}
-		if e, ok := s.pages[page+i]; ok {
+		if e, ok := s.pages.get(page + i); ok {
 			f := e.frames[0]
 			a.Present = true
 			a.Flags = e.flags
@@ -462,6 +472,32 @@ func (k *Kernel) GetPageAttributes(s *Segment, page, n int64) ([]PageAttribute, 
 		k.clock.Advance(k.cost.MappingUpdate / 2)
 	}
 	return out, nil
+}
+
+// GetPageAttribute is the single-page form of GetPageAttributes. It charges
+// identically but returns the attribute by value, so reclaim loops that poll
+// one page per step pay no slice allocation.
+func (k *Kernel) GetPageAttribute(s *Segment, page int64) (PageAttribute, error) {
+	k.stats.GetAttrCalls++
+	k.clock.Advance(k.cost.KernelCall)
+	if s.deleted {
+		return PageAttribute{}, ErrNoSuchSegment
+	}
+	if err := checkRange(s, page, 1); err != nil {
+		return PageAttribute{}, err
+	}
+	a := PageAttribute{Page: page, PFN: phys.NoFrame}
+	if e, ok := s.pages.get(page); ok {
+		f := e.frames[0]
+		a.Present = true
+		a.Flags = e.flags
+		a.PFN = f.PFN()
+		a.PhysAddr = f.PhysAddr()
+		a.Color = f.Color()
+		a.Node = f.Node()
+	}
+	k.clock.Advance(k.cost.MappingUpdate / 2)
+	return a, nil
 }
 
 // chargeDelivery charges the cost of transferring control to a manager.
@@ -508,7 +544,7 @@ func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
 		if r.seg.deleted {
 			return ErrNoSuchSegment
 		}
-		e, present := r.seg.pages[r.page]
+		e, present := r.seg.pages.get(r.page)
 		if !present {
 			if err := k.deliverFault(Fault{Seg: r.seg, Page: r.page, Access: access, Kind: FaultMissing}); err != nil {
 				return err
@@ -522,7 +558,7 @@ func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
 			if err := k.deliverFault(Fault{Seg: r.cowSeg, Page: r.cowPage, Access: access, Kind: FaultCopyOnWrite}); err != nil {
 				return err
 			}
-			ne, ok := r.cowSeg.pages[r.cowPage]
+			ne, ok := r.cowSeg.pages.get(r.cowPage)
 			if !ok {
 				continue // manager did not materialize the page; re-fault
 			}
@@ -571,7 +607,7 @@ func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
 // interface uses when it touches cached-file pages on behalf of a process;
 // unlike ModifyPageFlags it is not a system call.
 func (k *Kernel) MarkAccessed(s *Segment, page int64, write bool) {
-	e, ok := s.pages[page]
+	e, ok := s.pages.get(page)
 	if !ok {
 		return
 	}
@@ -596,7 +632,7 @@ func (k *Kernel) FaultIn(s *Segment, page int64, access AccessType) error {
 		if err != nil {
 			return err
 		}
-		if _, ok := r.seg.pages[r.page]; ok {
+		if r.seg.pages.has(r.page) {
 			return nil
 		}
 		if err := k.deliverFault(Fault{Seg: r.seg, Page: r.page, Access: access, Kind: FaultMissing}); err != nil {
@@ -645,7 +681,7 @@ func (k *Kernel) CheckFrameConservation() error {
 		if !ok {
 			return fmt.Errorf("frame %d owned by missing segment %d", pfn, owner)
 		}
-		e, ok := s.pages[k.framePage[pfn]]
+		e, ok := s.pages.get(k.framePage[pfn])
 		if !ok {
 			return fmt.Errorf("frame %d recorded at %s page %d, but page absent", pfn, s, k.framePage[pfn])
 		}
@@ -662,19 +698,27 @@ func (k *Kernel) CheckFrameConservation() error {
 	// Conversely, every page entry's frames must point back.
 	seen := make(map[phys.PFN]SegID)
 	for _, s := range k.segs {
-		for page, e := range s.pages {
+		var werr error
+		s.pages.forEach(func(page int64, e *pageEntry) bool {
 			if len(e.frames) != s.fpp {
-				return fmt.Errorf("%s page %d holds %d frames, want %d", s, page, len(e.frames), s.fpp)
+				werr = fmt.Errorf("%s page %d holds %d frames, want %d", s, page, len(e.frames), s.fpp)
+				return false
 			}
 			for _, f := range e.frames {
 				if prev, dup := seen[f.PFN()]; dup {
-					return fmt.Errorf("frame %d held by both segment %d and %d", f.PFN(), prev, s.id)
+					werr = fmt.Errorf("frame %d held by both segment %d and %d", f.PFN(), prev, s.id)
+					return false
 				}
 				seen[f.PFN()] = s.id
 				if k.frameOwner[f.PFN()] != s.id {
-					return fmt.Errorf("frame %d in %s but recorded owner is %d", f.PFN(), s, k.frameOwner[f.PFN()])
+					werr = fmt.Errorf("frame %d in %s but recorded owner is %d", f.PFN(), s, k.frameOwner[f.PFN()])
+					return false
 				}
 			}
+			return true
+		})
+		if werr != nil {
+			return werr
 		}
 	}
 	if len(seen) != k.mem.NumFrames() {

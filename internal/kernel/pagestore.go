@@ -1,0 +1,147 @@
+package kernel
+
+import "slices"
+
+// pageStore holds a segment's present pages. Every simulated memory
+// reference ends in a lookup here, so the structure is optimized for the
+// common shape of this repository's segments: a contiguous (or nearly
+// contiguous) run of pages starting at page 0 — program heaps touched in
+// order, cached files read sequentially, the boot segment's full
+// physical-address-order frame run. Those pages live in a dense slice
+// indexed by page number, where a lookup is a bounds check and a load
+// instead of a map probe. Pages far beyond the dense prefix (sparse
+// segments, huge page numbers) fall back to a map.
+//
+// The split is purely an implementation detail: put/get/del/forEach behave
+// exactly like a map[int64]*pageEntry, which the property tests in
+// pagestore_test.go verify against a reference model.
+
+const (
+	// pageStoreDenseDirect is the page number below which the dense slice
+	// always grows to cover a put: at most 32 KB of slice per segment.
+	pageStoreDenseDirect = 4096
+	// pageStoreDenseMax caps dense growth: a put at or beyond this page
+	// number never extends the dense prefix (2M entries = 16 MB of slice,
+	// covering an 8 GB segment of 4 KB pages).
+	pageStoreDenseMax = 1 << 21
+)
+
+type pageStore struct {
+	dense  []*pageEntry         // pages [0, len(dense)); nil = absent
+	sparse map[int64]*pageEntry // pages beyond the dense prefix
+	n      int                  // number of present pages
+}
+
+// get returns the entry at page, if present.
+func (ps *pageStore) get(page int64) (*pageEntry, bool) {
+	if uint64(page) < uint64(len(ps.dense)) {
+		e := ps.dense[page]
+		return e, e != nil
+	}
+	e, ok := ps.sparse[page]
+	return e, ok
+}
+
+// has reports whether page is present.
+func (ps *pageStore) has(page int64) bool {
+	_, ok := ps.get(page)
+	return ok
+}
+
+// admitDense reports whether a put at page should extend the dense prefix.
+// Small page numbers always densify; beyond that the prefix may at most
+// double per out-of-range put, so one far-out page cannot balloon the slice.
+func (ps *pageStore) admitDense(page int64) bool {
+	if page >= pageStoreDenseMax {
+		return false
+	}
+	return page < pageStoreDenseDirect || page < int64(2*len(ps.dense))
+}
+
+// put stores e (non-nil) at page, replacing any existing entry.
+func (ps *pageStore) put(page int64, e *pageEntry) {
+	if page < 0 {
+		panic("kernel: negative page in pageStore.put")
+	}
+	if page < int64(len(ps.dense)) {
+		if ps.dense[page] == nil {
+			ps.n++
+		}
+		ps.dense[page] = e
+		return
+	}
+	if ps.admitDense(page) {
+		for int64(len(ps.dense)) <= page {
+			ps.dense = append(ps.dense, nil)
+		}
+		ps.dense[page] = e
+		ps.n++
+		return
+	}
+	if ps.sparse == nil {
+		ps.sparse = make(map[int64]*pageEntry)
+	}
+	if _, ok := ps.sparse[page]; !ok {
+		ps.n++
+	}
+	ps.sparse[page] = e
+}
+
+// del removes the entry at page if present.
+func (ps *pageStore) del(page int64) {
+	if uint64(page) < uint64(len(ps.dense)) {
+		if ps.dense[page] != nil {
+			ps.dense[page] = nil
+			ps.n--
+		}
+		return
+	}
+	if _, ok := ps.sparse[page]; ok {
+		delete(ps.sparse, page)
+		ps.n--
+	}
+}
+
+// len reports the number of present pages.
+func (ps *pageStore) len() int { return ps.n }
+
+// clear drops every page (segment deletion).
+func (ps *pageStore) clear() {
+	ps.dense = nil
+	ps.sparse = nil
+	ps.n = 0
+}
+
+// forEach calls fn for every present page in ascending page order, stopping
+// early if fn returns false. fn may delete the page it was called with, but
+// must not otherwise mutate the store.
+func (ps *pageStore) forEach(fn func(page int64, e *pageEntry) bool) {
+	for p, e := range ps.dense {
+		if e != nil && !fn(int64(p), e) {
+			return
+		}
+	}
+	if len(ps.sparse) == 0 {
+		return
+	}
+	keys := make([]int64, 0, len(ps.sparse))
+	for p := range ps.sparse {
+		keys = append(keys, p)
+	}
+	slices.Sort(keys)
+	for _, p := range keys {
+		if e, ok := ps.sparse[p]; ok && !fn(p, e) {
+			return
+		}
+	}
+}
+
+// pages returns the present page numbers in ascending order.
+func (ps *pageStore) pages() []int64 {
+	out := make([]int64, 0, ps.n)
+	ps.forEach(func(page int64, _ *pageEntry) bool {
+		out = append(out, page)
+		return true
+	})
+	return out
+}

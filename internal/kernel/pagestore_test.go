@@ -1,0 +1,151 @@
+package kernel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// pageStoreOps is a generated op sequence for the equivalence property.
+type pageStoreOps struct {
+	ops []pageStoreOp
+}
+
+type pageStoreOp struct {
+	kind int // 0 put, 1 del, 2 get
+	page int64
+}
+
+// Generate implements quick.Generator, biasing pages toward the dense
+// region but including far-out sparse pages so both arms are exercised.
+func (pageStoreOps) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(200) + 1
+	ops := make([]pageStoreOp, n)
+	for i := range ops {
+		var page int64
+		switch r.Intn(4) {
+		case 0:
+			page = r.Int63n(64) // dense, clustered
+		case 1:
+			page = r.Int63n(pageStoreDenseDirect) // dense, spread
+		case 2:
+			page = pageStoreDenseDirect + r.Int63n(1<<24) // growth / sparse boundary
+		default:
+			page = pageStoreDenseMax + r.Int63n(1<<30) // strictly sparse
+		}
+		ops[i] = pageStoreOp{kind: r.Intn(3), page: page}
+	}
+	return reflect.ValueOf(pageStoreOps{ops: ops})
+}
+
+// TestPageStoreMatchesMapModel drives a pageStore and a plain map through
+// random op sequences and requires identical observable behaviour — the
+// dense/sparse split must be invisible (mirroring the frame-conservation
+// invariant discipline of DESIGN.md §6).
+func TestPageStoreMatchesMapModel(t *testing.T) {
+	property := func(seq pageStoreOps) bool {
+		var ps pageStore
+		model := make(map[int64]*pageEntry)
+		for _, op := range seq.ops {
+			switch op.kind {
+			case 0:
+				e := &pageEntry{flags: PageFlags(op.page % 7)}
+				ps.put(op.page, e)
+				model[op.page] = e
+			case 1:
+				ps.del(op.page)
+				delete(model, op.page)
+			case 2:
+				got, ok := ps.get(op.page)
+				want, wok := model[op.page]
+				if ok != wok || got != want {
+					t.Logf("get(%d) = (%p,%v), model (%p,%v)", op.page, got, ok, want, wok)
+					return false
+				}
+			}
+			if ps.len() != len(model) {
+				t.Logf("len = %d, model %d", ps.len(), len(model))
+				return false
+			}
+		}
+		// Final sweep: pages() must be the model's keys in ascending order,
+		// and forEach must visit exactly the same pages with the same entries.
+		pages := ps.pages()
+		if len(pages) != len(model) {
+			t.Logf("pages() returned %d pages, model has %d", len(pages), len(model))
+			return false
+		}
+		prev := int64(-1)
+		for _, p := range pages {
+			if p <= prev {
+				t.Logf("pages() not strictly ascending at %d after %d", p, prev)
+				return false
+			}
+			prev = p
+			if _, ok := model[p]; !ok {
+				t.Logf("pages() includes %d, not in model", p)
+				return false
+			}
+		}
+		visited := 0
+		okAll := true
+		ps.forEach(func(page int64, e *pageEntry) bool {
+			visited++
+			if model[page] != e {
+				okAll = false
+			}
+			return true
+		})
+		return okAll && visited == len(model)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPageStoreForEachEarlyExit checks that returning false stops the walk.
+func TestPageStoreForEachEarlyExit(t *testing.T) {
+	var ps pageStore
+	for p := int64(0); p < 10; p++ {
+		ps.put(p, &pageEntry{})
+	}
+	ps.put(pageStoreDenseMax+5, &pageEntry{}) // sparse arm
+	var seen []int64
+	ps.forEach(func(page int64, _ *pageEntry) bool {
+		seen = append(seen, page)
+		return len(seen) < 3
+	})
+	if len(seen) != 3 || seen[0] != 0 || seen[1] != 1 || seen[2] != 2 {
+		t.Fatalf("early-exit walk visited %v", seen)
+	}
+}
+
+// TestPageStoreDeleteDuringForEach checks the documented allowance: fn may
+// delete the page it was called with.
+func TestPageStoreDeleteDuringForEach(t *testing.T) {
+	var ps pageStore
+	for p := int64(0); p < 8; p++ {
+		ps.put(p, &pageEntry{})
+	}
+	ps.put(pageStoreDenseMax+1, &pageEntry{})
+	ps.put(pageStoreDenseMax+9, &pageEntry{})
+	ps.forEach(func(page int64, _ *pageEntry) bool {
+		ps.del(page)
+		return true
+	})
+	if ps.len() != 0 {
+		t.Fatalf("%d pages left after delete-all walk", ps.len())
+	}
+}
+
+// TestPageStoreNegativePagePanics pins the contract violation mode.
+func TestPageStoreNegativePagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("put(-1) did not panic")
+		}
+	}()
+	var ps pageStore
+	ps.put(-1, &pageEntry{})
+}

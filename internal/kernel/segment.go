@@ -49,7 +49,7 @@ type Segment struct {
 	pageSize int // bytes; framesPerPage × machine frame size
 	fpp      int // frames per page
 	manager  Manager
-	pages    map[int64]*pageEntry
+	pages    pageStore
 	bindings []*binding // sorted by start
 	// restricted segments accept MigratePages/ModifyPageFlags/data access
 	// only from privileged credentials (the boot frame segment).
@@ -77,28 +77,29 @@ func (s *Segment) Manager() Manager { return s.manager }
 func (s *Segment) Restricted() bool { return s.restricted }
 
 // PageCount returns the number of pages currently holding frames.
-func (s *Segment) PageCount() int { return len(s.pages) }
+func (s *Segment) PageCount() int { return s.pages.len() }
 
 // Pages returns the page numbers currently holding frames, sorted.
-// It allocates; intended for managers' sweep algorithms and tests.
-func (s *Segment) Pages() []int64 {
-	out := make([]int64, 0, len(s.pages))
-	for p := range s.pages {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+// It allocates; intended for managers' sweep algorithms and tests. Callers
+// that only scan should prefer ForEachPage, which does not allocate.
+func (s *Segment) Pages() []int64 { return s.pages.pages() }
+
+// ForEachPage calls fn for every page currently holding a frame, in
+// ascending page order, stopping early if fn returns false. It does not
+// allocate; managers' sweep and grant algorithms use it on large segments.
+// fn must not migrate pages of s other than the one it was called with.
+func (s *Segment) ForEachPage(fn func(page int64) bool) {
+	s.pages.forEach(func(page int64, _ *pageEntry) bool { return fn(page) })
 }
 
 // HasPage reports whether the segment holds a frame at page.
 func (s *Segment) HasPage(page int64) bool {
-	_, ok := s.pages[page]
-	return ok
+	return s.pages.has(page)
 }
 
 // Flags returns the page's flags; ok is false if the page has no frame.
 func (s *Segment) Flags(page int64) (PageFlags, bool) {
-	e, ok := s.pages[page]
+	e, ok := s.pages.get(page)
 	if !ok {
 		return 0, false
 	}
@@ -149,7 +150,7 @@ func resolve(s *Segment, page int64) (resolved, error) {
 		if depth > 16 {
 			return r, fmt.Errorf("kernel: binding chain deeper than 16 at segment %q page %d", s.name, page)
 		}
-		if _, ok := r.seg.pages[r.page]; ok {
+		if r.seg.pages.has(r.page) {
 			return r, nil
 		}
 		b := r.seg.findBinding(r.page)
@@ -186,7 +187,7 @@ func (s *Segment) addBinding(nb *binding) error {
 // use it to fill page data in their free-page segments (which they have
 // mapped into their own address spaces).
 func (s *Segment) FrameAt(page int64) *phys.Frame {
-	e, ok := s.pages[page]
+	e, ok := s.pages.get(page)
 	if !ok {
 		return nil
 	}
@@ -196,7 +197,7 @@ func (s *Segment) FrameAt(page int64) *phys.Frame {
 // FramesAt returns all frames backing page (large pages span several), or
 // nil if the page is not present.
 func (s *Segment) FramesAt(page int64) []*phys.Frame {
-	e, ok := s.pages[page]
+	e, ok := s.pages.get(page)
 	if !ok {
 		return nil
 	}
@@ -204,5 +205,5 @@ func (s *Segment) FramesAt(page int64) []*phys.Frame {
 }
 
 func (s *Segment) String() string {
-	return fmt.Sprintf("segment %q (id=%d, %d pages of %d bytes)", s.name, s.id, len(s.pages), s.pageSize)
+	return fmt.Sprintf("segment %q (id=%d, %d pages of %d bytes)", s.name, s.id, s.pages.len(), s.pageSize)
 }

@@ -58,6 +58,12 @@ func (t *tlb) invalidate(k mapKey) {
 	}
 }
 
+// stats reads the hit/miss counters; resetStats zeroes them. Kernel.Stats
+// and Kernel.ResetStats use this pair exclusively.
+func (t *tlb) stats() (hits, misses int64) { return t.hits, t.misses }
+
+func (t *tlb) resetStats() { t.hits, t.misses = 0, 0 }
+
 // invalidateSegment flushes all translations of one segment.
 func (t *tlb) invalidateSegment(seg SegID) {
 	for i := range t.entries {

@@ -78,17 +78,15 @@ func (b *FileBacking) name(seg *kernel.Segment) (string, error) {
 	return n, nil
 }
 
-// Fill implements Backing from the file.
+// Fill implements Backing from the file. The fetch goes straight into the
+// frame's storage (or pooled scratch for metadata-only memory, where the
+// latency is still charged) — no intermediate copy.
 func (b *FileBacking) Fill(seg *kernel.Segment, page int64, frame *phys.Frame) error {
 	n, err := b.name(seg)
 	if err != nil {
 		return err
 	}
-	buf := frame.Data()
-	if buf == nil {
-		buf = make([]byte, frame.Size()) // metadata-only memory: latency still charged
-	}
-	return b.store.Fetch(n, page, buf)
+	return frame.Fill(func(buf []byte) error { return b.store.Fetch(n, page, buf) })
 }
 
 // Writeback implements Backing to the file.
@@ -97,47 +95,47 @@ func (b *FileBacking) Writeback(seg *kernel.Segment, page int64, frame *phys.Fra
 	if err != nil {
 		return err
 	}
-	buf := frame.Data()
-	if buf == nil {
-		buf = make([]byte, frame.Size())
-	}
-	return b.store.Store(n, page, buf)
+	return frame.WithData(func(buf []byte) error { return b.store.Store(n, page, buf) })
 }
 
 // SwapBacking persists anonymous pages to a swap file keyed by segment and
 // page, used for program heaps that spill.
 type SwapBacking struct {
 	store storage.BlockStore
+	names map[kernel.SegID]string // swap file names, cached: eviction runs hot
 }
 
 // NewSwapBacking creates a SwapBacking over store.
 func NewSwapBacking(store storage.BlockStore) *SwapBacking {
-	return &SwapBacking{store: store}
+	return &SwapBacking{store: store, names: make(map[kernel.SegID]string)}
 }
 
 func swapName(seg *kernel.Segment) string {
 	return fmt.Sprintf("swap-seg-%d", seg.ID())
 }
 
+func (b *SwapBacking) swapName(seg *kernel.Segment) string {
+	if n, ok := b.names[seg.ID()]; ok {
+		return n
+	}
+	n := swapName(seg)
+	b.names[seg.ID()] = n
+	return n
+}
+
 // Fill implements Backing from swap. A page that was never written out has
 // no swap image: it is a fresh first touch and costs no I/O (and, this
 // being V++, no zeroing either — the frame did not change user).
 func (b *SwapBacking) Fill(seg *kernel.Segment, page int64, frame *phys.Frame) error {
-	if page >= b.store.Size(swapName(seg)) {
+	name := b.swapName(seg)
+	if page >= b.store.Size(name) {
 		return nil
 	}
-	buf := frame.Data()
-	if buf == nil {
-		buf = make([]byte, frame.Size())
-	}
-	return b.store.Fetch(swapName(seg), page, buf)
+	return frame.Fill(func(buf []byte) error { return b.store.Fetch(name, page, buf) })
 }
 
 // Writeback implements Backing to swap.
 func (b *SwapBacking) Writeback(seg *kernel.Segment, page int64, frame *phys.Frame) error {
-	buf := frame.Data()
-	if buf == nil {
-		buf = make([]byte, frame.Size())
-	}
-	return b.store.Store(swapName(seg), page, buf)
+	name := b.swapName(seg)
+	return frame.WithData(func(buf []byte) error { return b.store.Store(name, page, buf) })
 }

@@ -91,34 +91,30 @@ func rleDecompress(img, buf []byte) {
 
 // Writeback implements Backing: compress, or fall back to the store.
 func (b *CompressedBacking) Writeback(seg *kernel.Segment, page int64, frame *phys.Frame) error {
-	data := frame.Data()
-	if data == nil {
-		data = make([]byte, frame.Size())
-	}
-	key := resKey{seg: seg, page: page}
-	if img := rleCompress(data); img != nil {
-		b.images[key] = img
-		b.pagesStored++
-		b.bytesRaw += int64(len(data))
-		b.bytesCompress += int64(len(img))
-		return nil
-	}
-	delete(b.images, key)
-	b.fallbacks++
-	return b.store.Store(swapName(seg), page, data)
+	return frame.WithData(func(data []byte) error {
+		key := resKey{seg: seg, page: page}
+		if img := rleCompress(data); img != nil {
+			b.images[key] = img
+			b.pagesStored++
+			b.bytesRaw += int64(len(data))
+			b.bytesCompress += int64(len(img))
+			return nil
+		}
+		delete(b.images, key)
+		b.fallbacks++
+		return b.store.Store(swapName(seg), page, data)
+	})
 }
 
 // Fill implements Backing: decompress if held, else read the store.
 func (b *CompressedBacking) Fill(seg *kernel.Segment, page int64, frame *phys.Frame) error {
-	buf := frame.Data()
-	if buf == nil {
-		buf = make([]byte, frame.Size())
-	}
-	if img, ok := b.images[resKey{seg: seg, page: page}]; ok {
-		rleDecompress(img, buf)
-		return nil
-	}
-	return b.store.Fetch(swapName(seg), page, buf)
+	return frame.Fill(func(buf []byte) error {
+		if img, ok := b.images[resKey{seg: seg, page: page}]; ok {
+			rleDecompress(img, buf) // writes every byte, zero-padding the tail
+			return nil
+		}
+		return b.store.Fetch(swapName(seg), page, buf)
+	})
 }
 
 // --- Replicated writeback ---------------------------------------------------
@@ -238,11 +234,9 @@ func (b *LoggingBacking) Fill(seg *kernel.Segment, page int64, frame *phys.Frame
 			return nil
 		}
 	}
-	buf := frame.Data()
-	if buf == nil {
-		buf = make([]byte, frame.Size())
-	}
-	return b.store.Fetch(b.homeName(seg), page, buf)
+	return frame.Fill(func(buf []byte) error {
+		return b.store.Fetch(b.homeName(seg), page, buf)
+	})
 }
 
 // Commit forces all pending logged writes to their home locations and

@@ -38,8 +38,9 @@ type resKey struct {
 // if the application re-faults that page before the frame is reused, the
 // manager migrates it straight back — no fill, no I/O (§2.2).
 type freeSlot struct {
-	slot int64
-	from *resKey // nil if the frame's contents are unassociated
+	slot   int64
+	from   resKey // meaningful only when recall is set
+	recall bool   // false if the frame's contents are unassociated
 }
 
 // Stats counts a manager's activity.
@@ -204,15 +205,23 @@ func (g *Generic) CreateManagedSegment(name string) (*kernel.Segment, error) {
 // source to migrate frames into. Call FramesGranted after the migration.
 func (g *Generic) ReceiveSlots(n int) []int64 {
 	out := make([]int64, 0, n)
-	for !g.freshOnly && len(out) < n && len(g.emptySlots) > 0 {
-		out = append(out, g.emptySlots[len(g.emptySlots)-1])
-		g.emptySlots = g.emptySlots[:len(g.emptySlots)-1]
-	}
 	for len(out) < n {
-		out = append(out, g.nextSlot)
-		g.nextSlot++
+		out = append(out, g.receiveSlot())
 	}
 	return out
+}
+
+// receiveSlot is the single-slot form of ReceiveSlots, sparing the slice
+// allocation on the eviction hot path.
+func (g *Generic) receiveSlot() int64 {
+	if !g.freshOnly && len(g.emptySlots) > 0 {
+		s := g.emptySlots[len(g.emptySlots)-1]
+		g.emptySlots = g.emptySlots[:len(g.emptySlots)-1]
+		return s
+	}
+	s := g.nextSlot
+	g.nextSlot++
+	return s
 }
 
 // FramesGranted records that frames now occupy the given slots (after a
@@ -347,7 +356,7 @@ func (g *Generic) allocSlot(constraint phys.Range) (int, error) {
 			if !constraint.Admits(frame) {
 				continue
 			}
-			if fs.from == nil {
+			if !fs.recall {
 				best = i
 				break
 			}
@@ -356,9 +365,9 @@ func (g *Generic) allocSlot(constraint phys.Range) (int, error) {
 			}
 		}
 		if best >= 0 {
-			if fs := g.freeSlots[best]; fs.from != nil {
-				delete(g.recallIdx, *fs.from)
-				g.freeSlots[best].from = nil
+			if fs := g.freeSlots[best]; fs.recall {
+				delete(g.recallIdx, fs.from)
+				g.freeSlots[best].recall = false
 			}
 			return best, nil
 		}
@@ -385,15 +394,15 @@ func (g *Generic) allocSlot(constraint phys.Range) (int, error) {
 
 func (g *Generic) removeFreeSlotAt(i int) {
 	fs := g.freeSlots[i]
-	if fs.from != nil {
-		delete(g.recallIdx, *fs.from)
+	if fs.recall {
+		delete(g.recallIdx, fs.from)
 	}
 	last := len(g.freeSlots) - 1
 	g.freeSlots[i] = g.freeSlots[last]
 	g.freeSlots = g.freeSlots[:last]
 	if i < len(g.freeSlots) {
-		if moved := g.freeSlots[i].from; moved != nil {
-			g.recallIdx[*moved] = i
+		if moved := g.freeSlots[i]; moved.recall {
+			g.recallIdx[moved.from] = i
 		}
 	}
 }
@@ -480,11 +489,10 @@ func (g *Generic) reclaimClock(n int, constraint phys.Range) (int, error) {
 			g.hand = 0
 		}
 		key := g.resident[g.hand]
-		attrs, err := g.k.GetPageAttributes(key.seg, key.page, 1)
+		a, err := g.k.GetPageAttribute(key.seg, key.page)
 		if err != nil {
 			return reclaimed, err
 		}
-		a := attrs[0]
 		if !a.Present {
 			// The page left this manager's control (e.g. application
 			// migrated it); forget it.
@@ -533,19 +541,18 @@ func (g *Generic) evict(key resKey, flags kernel.PageFlags) error {
 			g.stats.Writebacks++
 		}
 	}
-	slots := g.ReceiveSlots(1)
+	slot := g.receiveSlot()
 	g.stats.MigrateCalls++
-	if err := g.k.MigratePages(kernel.AppCred, key.seg, g.free, key.page, slots[0], 1, 0,
+	if err := g.k.MigratePages(kernel.AppCred, key.seg, g.free, key.page, slot, 1, 0,
 		kernel.FlagRW|kernel.FlagDirty|kernel.FlagReferenced|kernel.FlagDiscardable); err != nil {
 		return err
 	}
 	g.removeResident(key)
 	if discarded {
-		g.freeSlots = append(g.freeSlots, freeSlot{slot: slots[0]})
+		g.freeSlots = append(g.freeSlots, freeSlot{slot: slot})
 	} else {
-		from := key
-		g.freeSlots = append(g.freeSlots, freeSlot{slot: slots[0], from: &from})
-		g.recallIdx[from] = len(g.freeSlots) - 1
+		g.freeSlots = append(g.freeSlots, freeSlot{slot: slot, from: key, recall: true})
+		g.recallIdx[key] = len(g.freeSlots) - 1
 	}
 	g.stats.Reclaims++
 	return nil
@@ -571,7 +578,7 @@ func (g *Generic) ReturnFreeFrames(n int) (int, error) {
 	}
 	var slots []int64
 	for i := 0; i < len(g.freeSlots) && len(slots) < n; {
-		if g.freeSlots[i].from == nil {
+		if !g.freeSlots[i].recall {
 			slots = append(slots, g.freeSlots[i].slot)
 			g.removeFreeSlotAt(i)
 			continue // removeFreeSlotAt swapped a new element into i
@@ -638,7 +645,7 @@ func (g *Generic) EnsureFree(n int) error {
 	have := func() int {
 		c := 0
 		for _, fs := range g.freeSlots {
-			if fs.from == nil {
+			if !fs.recall {
 				c++
 			}
 		}
@@ -664,9 +671,9 @@ func (g *Generic) EnsureFree(n int) error {
 		if have() >= n {
 			return nil
 		}
-		if fs := g.freeSlots[i]; fs.from != nil {
-			delete(g.recallIdx, *fs.from)
-			g.freeSlots[i].from = nil
+		if fs := g.freeSlots[i]; fs.recall {
+			delete(g.recallIdx, fs.from)
+			g.freeSlots[i].recall = false
 		}
 	}
 	if have() >= n {
@@ -702,7 +709,7 @@ func (g *Generic) PageInContiguous(seg *kernel.Segment, startPage, n int64) (boo
 	// Index unassociated free slots by slot number.
 	bySlot := make(map[int64]int, len(g.freeSlots))
 	for i, fs := range g.freeSlots {
-		if fs.from == nil {
+		if !fs.recall {
 			bySlot[fs.slot] = i
 		}
 	}
@@ -739,7 +746,7 @@ func (g *Generic) PageInContiguous(seg *kernel.Segment, startPage, n int64) (boo
 		// Re-index: removeFreeSlotAt swaps elements around.
 		bySlot = make(map[int64]int, len(g.freeSlots))
 		for j, fs := range g.freeSlots {
-			if fs.from == nil {
+			if !fs.recall {
 				bySlot[fs.slot] = j
 			}
 		}

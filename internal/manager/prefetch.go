@@ -172,12 +172,8 @@ func (a asyncWriteback) Writeback(seg *kernel.Segment, page int64, frame *phys.F
 	if !ok {
 		return nil
 	}
-	buf := frame.Data()
-	if buf == nil {
-		buf = make([]byte, frame.Size())
-	}
 	a.p.store.SetCharging(false)
-	err := a.p.store.Store(name, page, buf)
+	err := frame.WithData(func(buf []byte) error { return a.p.store.Store(name, page, buf) })
 	a.p.store.SetCharging(true)
 	if err != nil {
 		return err

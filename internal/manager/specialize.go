@@ -67,15 +67,13 @@ func NewFixedPool(k *kernel.Kernel, nFrames, startPFN int64) (*FixedPool, error)
 
 // RequestFrames implements FrameSource.
 func (p *FixedPool) RequestFrames(g *Generic, n int, constraint phys.Range) (int, error) {
-	var give []int64
-	for _, page := range p.Donor.Pages() {
-		if len(give) >= n {
-			break
-		}
+	give := make([]int64, 0, n)
+	p.Donor.ForEachPage(func(page int64) bool {
 		if constraint.Admits(p.Donor.FrameAt(page)) {
 			give = append(give, page)
 		}
-	}
+		return len(give) < n
+	})
 	if len(give) == 0 {
 		return 0, nil
 	}

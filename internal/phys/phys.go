@@ -11,6 +11,7 @@ package phys
 
 import (
 	"fmt"
+	"sync"
 )
 
 // PFN is a physical frame number. Frame 0 is a valid frame.
@@ -78,6 +79,10 @@ func (f *Frame) Color() int { return int(f.pfn) % f.mem.colors }
 // Size returns the frame size in bytes.
 func (f *Frame) Size() int { return f.mem.frameSize }
 
+// StoresData reports whether the frame's memory carries real byte contents
+// (Config.StoreData). When false, Data always returns nil.
+func (f *Frame) StoresData() bool { return f.mem.storeData }
+
 // Data returns the frame's contents, allocating backing bytes on first use.
 // It returns nil when the memory was configured without data storage.
 func (f *Frame) Data() []byte {
@@ -93,9 +98,7 @@ func (f *Frame) Data() []byte {
 // Zero clears the frame's contents (the Ultrix security zero-fill).
 func (f *Frame) Zero() {
 	if f.data != nil {
-		for i := range f.data {
-			f.data[i] = 0
-		}
+		clear(f.data)
 	}
 }
 
@@ -107,13 +110,72 @@ func (f *Frame) CopyFrom(src *Frame) {
 	}
 	if src.data == nil {
 		// Source untouched: it reads as zeros, so the destination must too.
+		// An untouched destination already does; don't allocate for it.
 		f.Zero()
-		if f.data == nil && f.mem.storeData {
-			f.data = make([]byte, f.mem.frameSize)
-		}
 		return
 	}
-	copy(f.Data(), src.data)
+	if f.data == nil {
+		f.data = f.mem.GetBuffer() // fully overwritten by the copy below
+	}
+	copy(f.data, src.data)
+}
+
+// Fill overwrites the frame's contents with whatever fn writes into the
+// supplied buffer. fn must fully overwrite the buffer: its prior contents
+// are undefined (it may be recycled). When the memory stores no data the
+// buffer is pooled scratch, so device models can still charge for the
+// transfer without a per-call allocation. If fn returns an error the frame
+// is left unmodified.
+func (f *Frame) Fill(fn func(buf []byte) error) error {
+	if !f.mem.storeData {
+		p := f.mem.getBufPtr()
+		err := fn(*p)
+		f.mem.putBufPtr(p)
+		return err
+	}
+	if f.data != nil {
+		return fn(f.data)
+	}
+	p := f.mem.getBufPtr()
+	if err := fn(*p); err != nil {
+		f.mem.putBufPtr(p)
+		return err
+	}
+	f.data = *p
+	return nil
+}
+
+// WithData calls fn with the frame's current contents. A frame with no
+// backing bytes (untouched, or data storage off) reads as zeros, so fn
+// receives a zeroed pooled scratch buffer in that case — without the
+// permanent allocation Data would make. fn must not retain the buffer.
+func (f *Frame) WithData(fn func(buf []byte) error) error {
+	if f.data != nil {
+		return fn(f.data)
+	}
+	p := f.mem.getBufPtr()
+	clear(*p)
+	err := fn(*p)
+	f.mem.putBufPtr(p)
+	return err
+}
+
+// Adopt makes buf — which must be exactly one frame in size — the frame's
+// contents without copying. Ownership of buf passes to the frame; the
+// frame's previous backing buffer, if any, returns to the memory's pool.
+// When the memory stores no data, buf is simply recycled.
+func (f *Frame) Adopt(buf []byte) {
+	if len(buf) != f.mem.frameSize {
+		panic(fmt.Sprintf("phys: Adopt buffer of %d bytes into %d-byte frame", len(buf), f.mem.frameSize))
+	}
+	if !f.mem.storeData {
+		f.mem.PutBuffer(buf)
+		return
+	}
+	if f.data != nil {
+		f.mem.PutBuffer(f.data)
+	}
+	f.data = buf
 }
 
 // Memory is the machine's physical memory: a fixed population of frames.
@@ -123,6 +185,10 @@ type Memory struct {
 	nodes     int
 	colors    int
 	storeData bool
+	// bufPool recycles frame-size buffers for Fill/Adopt handoffs and
+	// callers' I/O scratch space, so the migrate/pagein paths do not pay a
+	// 4 KB allocation (and its zeroing) per transfer.
+	bufPool sync.Pool
 }
 
 // NewMemory builds a memory system from cfg. It panics on invalid
@@ -170,6 +236,36 @@ func (m *Memory) Nodes() int { return m.nodes }
 
 // Colors returns the number of cache page colors.
 func (m *Memory) Colors() int { return m.colors }
+
+// GetBuffer returns a frame-size byte buffer with undefined contents, from
+// the memory's recycling pool when one is available. Pair with PutBuffer
+// (or hand the buffer to Frame.Adopt, which takes ownership).
+func (m *Memory) GetBuffer() []byte {
+	return *m.getBufPtr()
+}
+
+// getBufPtr / putBufPtr are the pointer-preserving forms used on round-trip
+// paths (scratch fills, WithData): keeping the *[]byte box alive across the
+// Get/Put cycle means the pool never re-boxes the slice header, so those
+// paths allocate nothing in steady state.
+func (m *Memory) getBufPtr() *[]byte {
+	if p, _ := m.bufPool.Get().(*[]byte); p != nil {
+		return p
+	}
+	b := make([]byte, m.frameSize)
+	return &b
+}
+
+func (m *Memory) putBufPtr(p *[]byte) { m.bufPool.Put(p) }
+
+// PutBuffer returns a buffer obtained from GetBuffer (or surrendered by a
+// frame) to the pool. Buffers of the wrong size are dropped.
+func (m *Memory) PutBuffer(buf []byte) {
+	if len(buf) != m.frameSize {
+		return
+	}
+	m.bufPool.Put(&buf)
+}
 
 // Frame returns the frame with the given number. It panics if pfn is out of
 // range.

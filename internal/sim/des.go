@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -44,29 +43,73 @@ type event struct {
 	fn   func() // timer callback, used when proc is nil
 }
 
+// eventHeap is a typed binary min-heap of value events ordered by (at, seq).
+// (at, seq) keys are unique — seq increases on every push — so heap order is
+// total and runs are deterministic. A typed heap avoids the interface{}
+// boxing of container/heap, which allocated one event per Push/Pop on the
+// simulator's hottest loop.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	// Sift up.
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
 }
 
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the callback/proc references for the GC
+	s = s[:n]
+	*h = s
+	// Sift down.
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// eventHeapInitialCap pre-sizes the queue so steady-state simulations never
+// grow it: even the six-processor database run keeps well under this many
+// events in flight.
+const eventHeapInitialCap = 128
+
 func (e *Env) push(ev event) {
+	if e.events == nil {
+		e.events = make(eventHeap, 0, eventHeapInitialCap)
+	}
 	e.seq++
 	ev.seq = e.seq
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 }
 
 // At schedules fn to run at absolute virtual time t (which must not be in
@@ -170,11 +213,11 @@ func (e *Env) Run() int { return e.RunUntil(1<<62 - 1) }
 // RunUntil drives the simulation until no events remain or the next event
 // is after deadline. It reports the number of processes left blocked.
 func (e *Env) RunUntil(deadline time.Duration) int {
-	for e.events.Len() > 0 {
+	for len(e.events) > 0 {
 		if e.events[0].at > deadline {
 			break
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		e.clock.AdvanceTo(ev.at)
 		if ev.proc != nil {
 			ev.proc.resume <- struct{}{}

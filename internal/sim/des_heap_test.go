@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestEventHeapOrdering pushes events in random order and checks they pop
+// in (at, seq) order — the property the simulator's determinism rests on.
+func TestEventHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1992))
+	for trial := 0; trial < 50; trial++ {
+		var h eventHeap
+		n := rng.Intn(300) + 1
+		for seq := int64(0); seq < int64(n); seq++ {
+			// Duplicate timestamps are common (Wake schedules at "now"), so
+			// draw from a small range to force seq tie-breaks.
+			h.push(event{at: time.Duration(rng.Intn(16)), seq: seq})
+		}
+		var prev event
+		for i := 0; i < n; i++ {
+			ev := h.pop()
+			if i > 0 {
+				if ev.at < prev.at || (ev.at == prev.at && ev.seq < prev.seq) {
+					t.Fatalf("trial %d: popped (%v,%d) after (%v,%d)", trial, ev.at, ev.seq, prev.at, prev.seq)
+				}
+			}
+			prev = ev
+		}
+		if len(h) != 0 {
+			t.Fatalf("heap not drained: %d left", len(h))
+		}
+	}
+}
+
+// TestEventHeapPreSized checks the first push installs the pre-sized
+// backing array so steady-state simulations never grow the queue.
+func TestEventHeapPreSized(t *testing.T) {
+	e := NewEnv(&Clock{})
+	e.At(0, func() {})
+	if cap(e.events) < eventHeapInitialCap {
+		t.Fatalf("event queue capacity %d, want >= %d", cap(e.events), eventHeapInitialCap)
+	}
+}

@@ -150,9 +150,17 @@ func (s *Store) Store(name string, block int64, buf []byte) error {
 		f = make(map[int64][]byte)
 		s.files[name] = f
 	}
-	data := make([]byte, s.blockSize)
+	// Overwrite an existing block in place: steady-state writeback of a hot
+	// working set then allocates nothing.
+	data, ok := f[block]
+	if !ok {
+		data = make([]byte, s.blockSize)
+		f[block] = data
+	}
 	copy(data, buf)
-	f[block] = data
+	if len(buf) < len(data) {
+		clear(data[len(buf):])
+	}
 	if block+1 > s.sizes[name] {
 		s.sizes[name] = block + 1
 	}

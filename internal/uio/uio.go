@@ -72,8 +72,10 @@ func (f *File) ReadBlock(block int64, buf []byte) error {
 	// Cached access: a single kernel operation (§2.1), charged as the
 	// Table 1 composition.
 	f.k.Clock().Advance(f.k.Cost().VppRead4K())
-	if frame := f.seg.FrameAt(block); frame != nil && frame.Data() != nil {
-		copy(buf, frame.Data())
+	if frame := f.seg.FrameAt(block); frame != nil && frame.StoresData() {
+		// An untouched frame reads as zeros through pooled scratch rather
+		// than forcing a permanent backing allocation.
+		_ = frame.WithData(func(data []byte) error { copy(buf, data); return nil })
 	}
 	f.k.MarkAccessed(f.seg, block, false)
 	return nil
@@ -97,8 +99,14 @@ func (f *File) WriteBlock(block int64, buf []byte) error {
 		}
 	}
 	f.k.Clock().Advance(f.k.Cost().VppWrite4K())
-	if frame := f.seg.FrameAt(block); frame != nil && frame.Data() != nil {
-		copy(frame.Data(), buf)
+	if frame := f.seg.FrameAt(block); frame != nil && frame.StoresData() {
+		if len(buf) == f.seg.PageSize() {
+			// Full-block write: the copy overwrites everything, so skip the
+			// zeroing a fresh Data allocation would do.
+			_ = frame.Fill(func(data []byte) error { copy(data, buf); return nil })
+		} else {
+			copy(frame.Data(), buf)
+		}
 	}
 	f.k.MarkAccessed(f.seg, block, true)
 	if block+1 > f.sizeBlocks {
@@ -135,6 +143,19 @@ func (f *File) WriteAll(data []byte) error {
 	return nil
 }
 
+// scratch returns a zeroed block-size buffer and its release func, pooled
+// when the block size matches the machine frame size (the common case) and
+// freshly allocated for large-page segments.
+func (f *File) scratch(bs int64) ([]byte, func()) {
+	m := f.k.Mem()
+	if int64(m.FrameSize()) == bs {
+		buf := m.GetBuffer()
+		clear(buf) // reads of data-less frames must see zeros
+		return buf, func() { m.PutBuffer(buf) }
+	}
+	return make([]byte, bs), func() {}
+}
+
 // ReadAt implements io.ReaderAt: byte-granular reads spanning blocks. Each
 // touched block costs one block operation — exactly what a real program
 // pays for unaligned I/O through a block interface.
@@ -144,7 +165,8 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	}
 	bs := int64(f.seg.PageSize())
 	n := 0
-	buf := make([]byte, bs)
+	buf, release := f.scratch(bs)
+	defer release()
 	for n < len(p) {
 		block := (off + int64(n)) / bs
 		inner := (off + int64(n)) % bs
@@ -164,7 +186,8 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	}
 	bs := int64(f.seg.PageSize())
 	n := 0
-	buf := make([]byte, bs)
+	buf, release := f.scratch(bs)
+	defer release()
 	for n < len(p) {
 		block := (off + int64(n)) / bs
 		inner := (off + int64(n)) % bs

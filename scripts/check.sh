@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# check.sh — the full local gate: formatting, vet, build, race-enabled
+# tests, and a one-iteration benchmark smoke so the harness benchmarks
+# never rot. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== bench smoke (1 iteration) =="
+go test -bench=Harness -benchtime=1x -run='^$' .
+
+echo "All checks passed."
