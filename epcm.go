@@ -31,6 +31,7 @@ import (
 	"epcm/internal/apps"
 	"epcm/internal/core"
 	"epcm/internal/db"
+	"epcm/internal/faultinject"
 	"epcm/internal/kernel"
 	"epcm/internal/manager"
 	"epcm/internal/phys"
@@ -182,6 +183,41 @@ type (
 	ReplicatedBacking = manager.ReplicatedBacking
 	LoggingBacking    = manager.LoggingBacking
 )
+
+// --- Fault injection ---------------------------------------------------
+
+// FaultPlan is a seeded, deterministic fault-injection schedule. Set
+// Config.FaultPlan to arm it at boot; the same seed over the same workload
+// reproduces the same injections, byte for byte. System.Chaos exposes the
+// armed plane's summary and event log.
+type FaultPlan = faultinject.Plan
+
+// ChaosPlane is the armed fault plane (System.Chaos).
+type ChaosPlane = faultinject.Plane
+
+// ChaosSummary reports what a plane injected.
+type ChaosSummary = faultinject.Summary
+
+// Typed errors for fault-injection and recovery paths, matchable with
+// errors.Is through manager retry wrapping.
+var (
+	// ErrInjected marks an injected storage failure.
+	ErrInjected = storage.ErrInjected
+	// ErrTransient marks a retryable storage failure.
+	ErrTransient = storage.ErrTransient
+	// ErrTornWrite marks a store failure that persisted a partial block.
+	ErrTornWrite = storage.ErrTornWrite
+	// ErrManagerCrashed reports a segment manager death; the kernel revokes
+	// the manager and its segments fall back to the default manager.
+	ErrManagerCrashed = kernel.ErrManagerCrashed
+	// ErrRetriesExhausted reports a transient storage error that outlived
+	// the manager's retry budget.
+	ErrRetriesExhausted = manager.ErrRetriesExhausted
+)
+
+// FailingStore wraps a BlockStore with deterministic failure injection
+// (fail-after-N, fail-once, torn writes, transient marking).
+type FailingStore = storage.FailingStore
 
 // --- Storage -----------------------------------------------------------
 

@@ -95,3 +95,50 @@ func ExampleMRUVictim() {
 	fmt.Println("reclaimed:", n, "page 7 resident:", seg.HasPage(7), "page 0 resident:", seg.HasPage(0))
 	// Output: reclaimed: 2 page 7 resident: false page 0 resident: true
 }
+
+// ExampleFaultPlan arms the deterministic fault plane: seeded storage
+// errors fly while the workload runs, and the named manager is crashed
+// after its 100th fault delivery. The kernel revokes the dead manager, the
+// default manager adopts its segments, and every page stays reachable.
+func ExampleFaultPlan() {
+	sys, err := epcm.Boot(epcm.Config{
+		MemoryBytes: 1 << 20,
+		StoreData:   true,
+		FaultPlan: &epcm.FaultPlan{
+			Seed:             42,
+			FetchErrorProb:   0.05, // injected backing-store failures...
+			TransientStorage: true, // ...marked retryable
+			CrashManager:     "mine",
+			CrashAtFault:     100, // kill "mine" at its 101st fault delivery
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, _, err := sys.NewAppManager(epcm.ManagerConfig{
+		Name:       "mine",
+		Backing:    epcm.NewSwapBacking(sys.Store),
+		MaxRetries: 3, // retry transient storage errors with backoff
+	}, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seg, err := mgr.CreateManagedSegment("data")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for p := int64(0); p < 400; p++ {
+		_ = sys.Kernel.Access(seg, p, epcm.Write) // chaos flies here
+	}
+	sys.Chaos.Disarm()
+	reachable := true
+	for p := int64(0); p < 400; p++ {
+		if err := sys.Kernel.Access(seg, p, epcm.Read); err != nil {
+			reachable = false
+		}
+	}
+	fmt.Println("crashed:", sys.Chaos.Crashed("mine"),
+		"revocations:", sys.Kernel.Stats().Revocations,
+		"reachable:", reachable)
+	// Output: crashed: true revocations: 1 reachable: true
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"epcm/internal/defaultmgr"
+	"epcm/internal/faultinject"
 	"epcm/internal/kernel"
 	"epcm/internal/manager"
 	"epcm/internal/phys"
@@ -44,6 +45,12 @@ type Config struct {
 	// DefaultManagerIncome funds the default manager's account (default:
 	// effectively unlimited, since it serves everyone).
 	DefaultManagerIncome float64
+	// FaultPlan, when non-nil, arms the deterministic fault plane: the
+	// plan's seeded schedule is wired into the storage, kernel-delivery
+	// and SPCM-grant hook seams, and System.Chaos reports what it did.
+	// Nil (the default) leaves every seam a dead branch — reproduce
+	// output and benchmarks are unaffected.
+	FaultPlan *faultinject.Plan
 }
 
 // System is a booted V++ machine.
@@ -55,6 +62,8 @@ type System struct {
 	Store   *storage.Store
 	SPCM    *spcm.SPCM
 	Default *defaultmgr.Default
+	// Chaos is the armed fault plane, or nil when Config.FaultPlan was nil.
+	Chaos *faultinject.Plane
 }
 
 // Boot builds and starts a system.
@@ -104,9 +113,21 @@ func Boot(cfg Config) (*System, error) {
 	}
 	s.Register(d.Generic, "default-segment-manager", income)
 
-	// Boot-time kernel operations are not part of any measured run.
-	clock.Reset()
-	return &System{
+	// Manager-failure recovery is always wired (it is part of the system,
+	// not of the fault plane): a revoked manager's segments fall back to
+	// the default manager, which adopts their resident pages, and the SPCM
+	// repossesses the dead manager's free-page segment.
+	k.SetDefaultManager(d)
+	k.OnRevoke(func(dead kernel.Manager, adopted []*kernel.Segment) {
+		if g, ok := dead.(*manager.Generic); ok {
+			_, _ = s.Revoke(g)
+		}
+		for _, seg := range adopted {
+			d.AdoptSegment(seg)
+		}
+	})
+
+	sys := &System{
 		Clock:   clock,
 		Cost:    cost,
 		Mem:     mem,
@@ -114,7 +135,18 @@ func Boot(cfg Config) (*System, error) {
 		Store:   store,
 		SPCM:    s,
 		Default: d,
-	}, nil
+	}
+	if cfg.FaultPlan != nil {
+		plane := faultinject.New(*cfg.FaultPlan, clock)
+		store.SetFaultHook(plane.StorageFault)
+		s.SetGrantGate(plane.GrantGate)
+		k.SetInterceptor(plane.Intercept)
+		sys.Chaos = plane
+	}
+
+	// Boot-time kernel operations are not part of any measured run.
+	clock.Reset()
+	return sys, nil
 }
 
 // NewAppManager creates an application-specific segment manager funded with

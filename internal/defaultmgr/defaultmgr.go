@@ -71,6 +71,7 @@ type Stats struct {
 	SampleFaults     int64 // protection faults taken for reference sampling
 	PagesUnprotected int64 // pages re-enabled by sampling faults
 	Opens, Closes    int64
+	Adoptions        int64 // segments adopted from revoked managers
 }
 
 var _ kernel.Manager = (*Default)(nil)
@@ -129,6 +130,21 @@ func (d *Default) ResetStats() {
 func (d *Default) Manage(seg *kernel.Segment) {
 	d.k.SetSegmentManager(seg, d)
 	d.managed[seg.ID()] = seg
+}
+
+// AdoptSegment takes over a segment whose manager was revoked. The kernel
+// has already repointed the segment's manager at d; this records the
+// segment in the cache directory, binds a writeback file for it (evicted
+// dirty pages need somewhere to go — pages whose only copy lived in the
+// dead manager's private backing are not recoverable, but resident state
+// survives intact), and registers the resident pages in the reclaim clock.
+func (d *Default) AdoptSegment(seg *kernel.Segment) {
+	d.managed[seg.ID()] = seg
+	if _, ok := d.backing.FileOf(seg); !ok {
+		d.backing.BindFile(seg, fmt.Sprintf("revoked:%d:%s", seg.ID(), seg.Name()))
+	}
+	d.Generic.AdoptResident(seg)
+	d.stats.Adoptions++
 }
 
 // OpenFile opens (or re-opens) a named file as a cached-file segment,

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestReproduceGolden locks the reproduce output byte-for-byte against
+// testdata/reproduce.golden, captured before the fault plane existed. The
+// plane is compiled in but disarmed (Config.FaultPlan nil leaves every hook
+// seam a dead branch), so this is the regression gate for the plane's
+// zero-overhead claim: if wiring injection seams through storage, kernel
+// delivery or SPCM grants ever perturbs an uninjected run — an extra clock
+// charge, a reordered grant, a different RNG draw — the tables drift and
+// this test names the first divergent byte.
+//
+// Regenerate (only after an intentional model change):
+//
+//	go run ./cmd/reproduce > internal/experiments/testdata/reproduce.golden
+func TestReproduceGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/reproduce.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	for _, run := range []func() (*Report, error){
+		Table1,
+		Tables23,
+		func() (*Report, error) { return Table4(0, 0) },
+	} {
+		rep, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Write(rep.Output)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		i := 0
+		for i < len(want) && i < got.Len() && want[i] == got.Bytes()[i] {
+			i++
+		}
+		t.Fatalf("reproduce output diverged from golden at byte %d (got %d bytes, want %d)\n--- got around divergence ---\n%s",
+			i, got.Len(), len(want), context(got.Bytes(), i))
+	}
+}
+
+// context returns the line region around byte offset i for the failure
+// message.
+func context(b []byte, i int) []byte {
+	lo, hi := i, i
+	for lo > 0 && b[lo-1] != '\n' {
+		lo--
+	}
+	for hi < len(b) && b[hi] != '\n' {
+		hi++
+	}
+	return b[lo:hi]
+}

@@ -1,0 +1,270 @@
+// Package faultinject is the deterministic fault plane: a seeded schedule
+// of injected failures threaded through the simulator clock. It exercises
+// the containment story of external page-cache management — the paper's
+// claim that a misbehaving or dead segment manager cannot corrupt the
+// kernel's frame accounting (§2.3) — by injecting storage errors and torn
+// writes, dropped and delayed fault deliveries, transient frame-allocation
+// exhaustion, and segment-manager crashes.
+//
+// Every schedule is reproducible from a single seed: all randomness comes
+// from forked splitmix64 streams, all time from the virtual clock, so the
+// same Plan yields the same injections — and the same event log — on every
+// run at any parallelism.
+//
+// The plane never imports the packages it torments. kernel, storage and
+// spcm each expose a nil-checked hook seam (DeliveryInterceptor, FaultHook,
+// grant gate); package core wires an armed Plane into all three. With no
+// plane armed each seam costs one predictable branch, which is what keeps
+// the reproduce tables byte-identical and the benchmarks within noise.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"epcm/internal/kernel"
+	"epcm/internal/sim"
+	"epcm/internal/storage"
+)
+
+// Plan is the declarative description of one fault schedule. The zero value
+// injects nothing; Seed 0 is a valid seed.
+type Plan struct {
+	// Seed drives every probabilistic draw. Same plan + same workload =
+	// same injections, byte for byte.
+	Seed uint64
+
+	// FetchErrorProb and StoreErrorProb are per-operation probabilities of
+	// an injected backing-store failure.
+	FetchErrorProb float64
+	StoreErrorProb float64
+	// TornWriteProb is the probability, given an injected store failure,
+	// that the failure is a torn write: the first half of the block is
+	// persisted before the error surfaces.
+	TornWriteProb float64
+	// TransientStorage marks injected storage errors retryable
+	// (storage.ErrTransient), engaging manager retry-with-backoff.
+	TransientStorage bool
+
+	// DropDeliveryProb and DelayDeliveryProb are per-fault-delivery
+	// probabilities of losing the delivery or charging DeliveryDelay of
+	// extra virtual time before it proceeds.
+	DropDeliveryProb  float64
+	DelayDeliveryProb float64
+	DeliveryDelay     time.Duration
+
+	// ExhaustEvery > 0 makes every ExhaustEvery-th frame-grant request
+	// open a refusal window: it and the next ExhaustLen-1 requests are
+	// refused (transient frame exhaustion).
+	ExhaustEvery int
+	ExhaustLen   int
+
+	// CrashManager names a manager to kill after it has received
+	// CrashAtFault fault deliveries. Once crashed it stays dead: every
+	// later delivery to it also reports the crash, so the kernel revokes
+	// it no matter which segment faults first.
+	CrashManager string
+	CrashAtFault int64
+
+	// MaxInjections bounds the total number of injections; 0 = unlimited.
+	MaxInjections int64
+}
+
+// Summary reports what a Plane actually injected.
+type Summary struct {
+	FetchErrors       int64
+	StoreErrors       int64
+	TornWrites        int64
+	DroppedDeliveries int64
+	DelayedDeliveries int64
+	RefusedGrants     int64
+	ManagerCrashes    int64
+	Total             int64
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("chaos: %d injections (fetch=%d store=%d torn=%d drop=%d delay=%d refuse=%d crash=%d)",
+		s.Total, s.FetchErrors, s.StoreErrors, s.TornWrites,
+		s.DroppedDeliveries, s.DelayedDeliveries, s.RefusedGrants, s.ManagerCrashes)
+}
+
+// Plane executes a Plan. Its methods are safe for concurrent use (the
+// experiment harness runs scenarios in parallel workers), though within one
+// simulation everything is single-threaded.
+type Plane struct {
+	mu          sync.Mutex
+	plan        Plan
+	clock       *sim.Clock
+	rngStorage  *sim.RNG
+	rngDelivery *sim.RNG
+	armed       bool
+	injections  int64
+	deliveries  map[string]int64 // per-manager fault deliveries seen
+	grantReqs   int64
+	exhaustLeft int
+	crashed     map[string]bool
+	log         []string
+	counts      Summary
+}
+
+// New builds an armed Plane over the plan and clock. Storage and delivery
+// draws come from independent forked streams so adding storage probability
+// does not perturb the delivery schedule.
+func New(plan Plan, clock *sim.Clock) *Plane {
+	root := sim.NewRNG(plan.Seed)
+	return &Plane{
+		plan:        plan,
+		clock:       clock,
+		rngStorage:  root.Fork(),
+		rngDelivery: root.Fork(),
+		armed:       true,
+		deliveries:  make(map[string]int64),
+		crashed:     make(map[string]bool),
+	}
+}
+
+// Arm and Disarm toggle injection. A disarmed plane observes nothing and
+// injects nothing.
+func (p *Plane) Arm()    { p.mu.Lock(); p.armed = true; p.mu.Unlock() }
+func (p *Plane) Disarm() { p.mu.Lock(); p.armed = false; p.mu.Unlock() }
+
+// budget reports whether another injection is allowed. Callers hold p.mu.
+func (p *Plane) budget() bool {
+	return p.armed && (p.plan.MaxInjections == 0 || p.injections < p.plan.MaxInjections)
+}
+
+// inject records one injection. Callers hold p.mu.
+func (p *Plane) inject(counter *int64, format string, args ...any) {
+	*counter++
+	p.counts.Total++
+	p.injections++
+	p.log = append(p.log, fmt.Sprintf("t=%v ", p.clock.Now())+fmt.Sprintf(format, args...))
+}
+
+// StorageFault is the storage.FaultHook: it decides, per block operation,
+// whether to inject a failure.
+func (p *Plane) StorageFault(op storage.Op, name string, block int64) *storage.InjectedFault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.budget() {
+		return nil
+	}
+	switch op {
+	case storage.OpFetch:
+		if p.plan.FetchErrorProb <= 0 || !p.rngStorage.Bool(p.plan.FetchErrorProb) {
+			return nil
+		}
+		p.inject(&p.counts.FetchErrors, "storage fetch error %q block %d", name, block)
+		return &storage.InjectedFault{Err: p.storageErr(storage.OpFetch, name, block, false)}
+	case storage.OpStore:
+		if p.plan.StoreErrorProb <= 0 || !p.rngStorage.Bool(p.plan.StoreErrorProb) {
+			return nil
+		}
+		torn := p.plan.TornWriteProb > 0 && p.rngStorage.Bool(p.plan.TornWriteProb)
+		if torn {
+			p.inject(&p.counts.TornWrites, "torn write %q block %d", name, block)
+			p.counts.StoreErrors++
+		} else {
+			p.inject(&p.counts.StoreErrors, "storage store error %q block %d", name, block)
+		}
+		return &storage.InjectedFault{Err: p.storageErr(storage.OpStore, name, block, torn), Torn: torn}
+	}
+	return nil
+}
+
+// storageErr builds the injected error with the sentinel wrapping contract:
+// always storage.ErrInjected, plus ErrTornWrite for torn writes and
+// ErrTransient when the plan marks storage failures retryable.
+func (p *Plane) storageErr(op storage.Op, name string, block int64, torn bool) error {
+	err := fmt.Errorf("%w (chaos %s %q block %d)", storage.ErrInjected, op, name, block)
+	if torn {
+		err = fmt.Errorf("%w: %w", storage.ErrTornWrite, err)
+	}
+	if p.plan.TransientStorage {
+		err = fmt.Errorf("%w: %w", storage.ErrTransient, err)
+	}
+	return err
+}
+
+// Intercept is the kernel.DeliveryInterceptor: it decides, per fault
+// delivery, whether to crash the manager, drop the delivery, or delay it.
+func (p *Plane) Intercept(f kernel.Fault, m kernel.Manager) kernel.InterceptResult {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	name := m.ManagerName()
+	if p.crashed[name] {
+		// Dead managers stay dead: any segment still pointing at one
+		// reports the crash so the kernel revokes it too.
+		return kernel.InterceptResult{Crash: true}
+	}
+	if !p.armed {
+		return kernel.InterceptResult{}
+	}
+	p.deliveries[name]++
+	if p.budget() && name == p.plan.CrashManager && p.deliveries[name] > p.plan.CrashAtFault {
+		p.crashed[name] = true
+		p.inject(&p.counts.ManagerCrashes, "manager %q crashed on %v", name, f)
+		return kernel.InterceptResult{Crash: true}
+	}
+	if !p.budget() {
+		return kernel.InterceptResult{}
+	}
+	if p.plan.DropDeliveryProb > 0 && p.rngDelivery.Bool(p.plan.DropDeliveryProb) {
+		p.inject(&p.counts.DroppedDeliveries, "dropped delivery to %q: %v", name, f)
+		return kernel.InterceptResult{Drop: true}
+	}
+	if p.plan.DelayDeliveryProb > 0 && p.rngDelivery.Bool(p.plan.DelayDeliveryProb) {
+		p.inject(&p.counts.DelayedDeliveries, "delayed delivery to %q by %v: %v", name, p.plan.DeliveryDelay, f)
+		return kernel.InterceptResult{Delay: p.plan.DeliveryDelay}
+	}
+	return kernel.InterceptResult{}
+}
+
+// GrantGate is the SPCM grant gate: every ExhaustEvery-th frame request
+// opens a window of ExhaustLen refusals (the window counts this request).
+func (p *Plane) GrantGate(n int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.plan.ExhaustEvery <= 0 || !p.budget() {
+		return true
+	}
+	p.grantReqs++
+	if p.exhaustLeft == 0 && p.grantReqs%int64(p.plan.ExhaustEvery) == 0 {
+		p.exhaustLeft = p.plan.ExhaustLen
+		if p.exhaustLeft < 1 {
+			p.exhaustLeft = 1
+		}
+	}
+	if p.exhaustLeft > 0 {
+		p.exhaustLeft--
+		p.inject(&p.counts.RefusedGrants, "refused grant of %d frames", n)
+		return false
+	}
+	return true
+}
+
+// Crashed reports whether the named manager has been crashed by the plane.
+func (p *Plane) Crashed(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed[name]
+}
+
+// Summary returns the injection counts so far.
+func (p *Plane) Summary() Summary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts
+}
+
+// EventLog returns a copy of the injection log: one line per injection,
+// stamped with virtual time. Two runs of the same plan over the same
+// workload produce identical logs — the determinism test diffs them.
+func (p *Plane) EventLog() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.log))
+	copy(out, p.log)
+	return out
+}

@@ -39,6 +39,14 @@ var (
 	ErrNotContiguous = errors.New("kernel: frames not physically contiguous")
 	// ErrManagerFailed wraps an error returned by a segment manager.
 	ErrManagerFailed = errors.New("kernel: segment manager failed")
+	// ErrManagerCrashed reports that a segment manager died (or was killed
+	// by the fault plane). The kernel responds by revoking the manager:
+	// every segment it managed falls back to the default manager.
+	ErrManagerCrashed = errors.New("kernel: segment manager crashed")
+	// ErrNoFallback reports that a crashed manager cannot be revoked
+	// because no default manager is registered (or the default manager
+	// itself crashed).
+	ErrNoFallback = errors.New("kernel: no default manager to fall back to")
 )
 
 // pageError decorates err with segment and page context.

@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"testing"
+)
+
+// FuzzMappingTable drives a shrunken mapping table (16 direct-mapped slots,
+// 4 overflow entries — small enough that collisions, spills and drops happen
+// within a handful of operations) through a fuzz-chosen op sequence and
+// checks it against a reference map. The table is a lossy cache, so a miss
+// on a present key is legal; what must never happen is:
+//
+//   - a lookup hit returning a stale entry pointer,
+//   - a hit after remove or removeSegment,
+//   - the same key valid twice within the overflow area (an overflow-
+//     internal duplicate makes lookup order-dependent; a slot-shadowed
+//     overflow copy is legal because the slot always wins).
+func FuzzMappingTable(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1, 3, 1, 1, 2, 2, 1, 0})
+	f.Add([]byte("insert-remove-collide-spill-drop"))
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 2, 0, 0, 3, 0, 3, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		table := newMappingTableSized(16, 4)
+		model := make(map[mapKey]*pageEntry)
+		for len(data) >= 3 {
+			op, segByte, pageByte := data[0]&3, data[1]&3, data[2]&7
+			data = data[3:]
+			k := mapKey{seg: SegID(segByte), page: int64(pageByte)}
+			switch op {
+			case 0, 1: // insert weighted 2x: build occupancy
+				e := &pageEntry{}
+				table.insert(k, e)
+				model[k] = e
+				if got, ok := table.lookup(k); !ok || got != e {
+					t.Fatalf("lookup(%v) after insert: got %p ok=%v, want %p", k, got, ok, e)
+				}
+			case 2:
+				table.remove(k)
+				delete(model, k)
+				if _, ok := table.lookup(k); ok {
+					t.Fatalf("lookup(%v) hit after remove", k)
+				}
+			case 3:
+				table.removeSegment(k.seg)
+				for mk := range model {
+					if mk.seg == k.seg {
+						delete(model, mk)
+					}
+				}
+			}
+			// A hit must return the live entry; duplicates are forbidden.
+			for mk := range model {
+				if got, ok := table.lookup(mk); ok && got != model[mk] {
+					t.Fatalf("lookup(%v): stale entry %p, want %p", mk, got, model[mk])
+				}
+			}
+			assertNoDuplicates(t, table, model)
+		}
+	})
+}
+
+// assertNoDuplicates enforces the overflow-area contract: no key appears
+// twice within the overflow area (that would make lookup order-dependent),
+// and every overflow copy that is NOT shadowed by its own key in the slot
+// array is the live entry for its key (a stale copy is only tolerable while
+// the slot shadows it, because lookup checks the slot first).
+func assertNoDuplicates(t *testing.T, table *mappingTable, model map[mapKey]*pageEntry) {
+	t.Helper()
+	seen := make(map[mapKey]bool)
+	for i := range table.overflow[:table.ovLen] {
+		o := table.overflow[i]
+		if !o.valid {
+			continue
+		}
+		if seen[o.key] {
+			t.Fatalf("key %v valid twice within the overflow area", o.key)
+		}
+		seen[o.key] = true
+		s := table.slots[table.index(o.key)]
+		if s.valid && s.key == o.key {
+			continue // shadowed: the slot wins on lookup, staleness is inert
+		}
+		if o.entry != model[o.key] {
+			t.Fatalf("key %v: unshadowed overflow entry %p is not the live entry %p",
+				o.key, o.entry, model[o.key])
+		}
+	}
+}

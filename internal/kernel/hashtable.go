@@ -28,14 +28,42 @@ type hashEntry struct {
 }
 
 type mappingTable struct {
-	slots    []hashEntry
+	slots []hashEntry
+	// overflow stays an embedded fixed array (not a slice): its scans are
+	// on the migrate hot path and the array keeps them bounds-check-free
+	// and local to the struct. ovLen is the logical area size — the paper's
+	// 32 in production, smaller in fuzz tables.
 	overflow [hashOverflow]hashEntry
+	ovLen    int
+	shift    uint // 64 - log2(len(slots)); index takes the top bits
 	// statistics
 	hits, misses, spills, drops int64
 }
 
 func newMappingTable() *mappingTable {
-	return &mappingTable{slots: make([]hashEntry, hashTableSlots)}
+	return newMappingTableSized(hashTableSlots, hashOverflow)
+}
+
+// newMappingTableSized builds a table with the given direct-mapped slot
+// count (a power of two) and overflow area size (at most hashOverflow).
+// Production uses the paper's 64K/32 via newMappingTable; fuzz tests shrink
+// both so collisions and overflow pressure happen in a few operations.
+func newMappingTableSized(slots, overflow int) *mappingTable {
+	if slots <= 0 || slots&(slots-1) != 0 {
+		panic("kernel: mapping table slot count must be a positive power of two")
+	}
+	if overflow < 0 || overflow > hashOverflow {
+		panic("kernel: mapping table overflow size out of range")
+	}
+	shift := uint(64)
+	for s := slots; s > 1; s >>= 1 {
+		shift--
+	}
+	return &mappingTable{
+		slots: make([]hashEntry, slots),
+		ovLen: overflow,
+		shift: shift,
+	}
 }
 
 // index computes the direct-mapped slot for a key. The multiplier is a
@@ -44,7 +72,7 @@ func newMappingTable() *mappingTable {
 func (t *mappingTable) index(k mapKey) int {
 	h := uint64(k.seg)<<40 ^ uint64(k.page)
 	h *= 0x9e3779b97f4a7c15
-	return int(h >> (64 - 16)) // top 16 bits: 64K slots
+	return int(h >> t.shift) // top bits: len(slots) slots
 }
 
 // lookup finds the page entry for key, reporting whether it was present.
@@ -54,8 +82,9 @@ func (t *mappingTable) lookup(k mapKey) (*pageEntry, bool) {
 		t.hits++
 		return s.entry, true
 	}
-	for i := range t.overflow {
-		o := &t.overflow[i]
+	ov := t.overflow[:t.ovLen]
+	for i := range ov {
+		o := &ov[i]
 		if o.valid && o.key == k {
 			t.hits++
 			return o.entry, true
@@ -67,19 +96,37 @@ func (t *mappingTable) lookup(k mapKey) (*pageEntry, bool) {
 
 // insert caches a mapping, displacing any colliding occupant to the overflow
 // area (and dropping the displaced mapping if the overflow area is full).
+//
+// The overflow area is scanned only on displacement — the common case
+// (empty or same-key slot) stays O(1), which matters because every
+// MigratePages runs through here. The displacement pass invalidates stale
+// copies of both keys in one sweep: the inserted key (which may have been
+// displaced there earlier, with an out-of-date entry pointer) and the
+// displaced occupant (which must not end up in the area twice). A same-key
+// overwrite can therefore leave a stale copy of k in the overflow area,
+// but it is unreachable — lookup checks the slot first, remove sweeps both
+// areas, and the copy is purged the next time k's slot is displaced —
+// so at most one overflow copy per key ever exists.
 func (t *mappingTable) insert(k mapKey, e *pageEntry) {
 	s := &t.slots[t.index(k)]
 	if s.valid && s.key != k {
-		// Displace the occupant into the overflow area.
-		for i := range t.overflow {
-			if !t.overflow[i].valid {
-				t.overflow[i] = *s
-				t.spills++
-				goto placed
+		ov := t.overflow[:t.ovLen]
+		free := -1
+		for i := range ov {
+			o := &ov[i]
+			if o.valid && (o.key == k || o.key == s.key) {
+				o.valid = false
+			}
+			if !o.valid && free < 0 {
+				free = i
 			}
 		}
-		t.drops++ // overflow full: the displaced mapping is forgotten
-	placed:
+		if free >= 0 {
+			ov[free] = *s
+			t.spills++
+		} else {
+			t.drops++ // overflow full: the displaced mapping is forgotten
+		}
 	}
 	*s = hashEntry{key: k, entry: e, valid: true}
 }
@@ -91,9 +138,10 @@ func (t *mappingTable) remove(k mapKey) {
 	if s.valid && s.key == k {
 		s.valid = false
 	}
-	for i := range t.overflow {
-		if t.overflow[i].valid && t.overflow[i].key == k {
-			t.overflow[i].valid = false
+	ov := t.overflow[:t.ovLen]
+	for i := range ov {
+		if ov[i].valid && ov[i].key == k {
+			ov[i].valid = false
 		}
 	}
 }
@@ -105,9 +153,10 @@ func (t *mappingTable) removeSegment(seg SegID) {
 			t.slots[i].valid = false
 		}
 	}
-	for i := range t.overflow {
-		if t.overflow[i].valid && t.overflow[i].key.seg == seg {
-			t.overflow[i].valid = false
+	ov := t.overflow[:t.ovLen]
+	for i := range ov {
+		if ov[i].valid && ov[i].key.seg == seg {
+			ov[i].valid = false
 		}
 	}
 }

@@ -13,6 +13,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
 	"epcm/internal/phys"
@@ -48,6 +49,11 @@ type Stats struct {
 	HashMisses    int64
 	HashSpills    int64 // displacements into the hash overflow area
 	HashDrops     int64 // displaced mappings lost to a full overflow area
+	// Fault-plane / recovery counters.
+	DroppedDeliveries int64 // fault deliveries lost before reaching a manager
+	DelayedDeliveries int64 // fault deliveries charged an injected delay
+	Revocations       int64 // managers declared dead and revoked
+	RevokedSegments   int64 // segments reassigned to the default manager
 }
 
 // Kernel is the simulated V++ kernel.
@@ -66,6 +72,11 @@ type Kernel struct {
 	framePage  []int64
 	boot       *Segment
 	stats      Stats
+	// interceptor, defaultMgr and onRevoke support the fault plane and
+	// manager-failure recovery; see revoke.go. All nil in normal operation.
+	interceptor DeliveryInterceptor
+	defaultMgr  Manager
+	onRevoke    func(dead Manager, adopted []*Segment)
 }
 
 // New boots a kernel over the given memory, clock and cost model. Following
@@ -660,8 +671,34 @@ func (k *Kernel) deliverFault(f Fault) error {
 		k.stats.COWFaults++
 	}
 	k.clock.Advance(k.cost.Trap)
+	if k.interceptor != nil {
+		switch r := k.interceptor(f, m); {
+		case r.Crash:
+			// The manager process died before fielding the fault. Revoke it;
+			// the Access retry loop re-delivers the in-flight fault to the
+			// default manager.
+			if _, err := k.Revoke(m); err != nil {
+				return pageError(fmt.Errorf("%w: %q: %w", ErrManagerCrashed, m.ManagerName(), err), f.Seg, f.Page)
+			}
+			return nil
+		case r.Drop:
+			// The delivery was lost; the faulting process just re-faults.
+			k.stats.DroppedDeliveries++
+			return nil
+		case r.Delay > 0:
+			k.stats.DelayedDeliveries++
+			k.clock.Advance(r.Delay)
+		}
+	}
 	k.chargeDelivery(m.Delivery())
 	if err := m.HandleFault(f); err != nil {
+		if errors.Is(err, ErrManagerCrashed) {
+			// The manager died mid-handling. Revoke and let the retry loop
+			// re-deliver; only if no fallback exists does the crash surface.
+			if _, rerr := k.Revoke(m); rerr == nil {
+				return nil
+			}
+		}
 		return fmt.Errorf("%w: %q on %v: %w", ErrManagerFailed, m.ManagerName(), f, err)
 	}
 	k.chargeReturn(m.Delivery())

@@ -3,15 +3,22 @@ package manager
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"epcm/internal/kernel"
 	"epcm/internal/phys"
+	"epcm/internal/storage"
 )
 
 // ErrNoMemory reports that a fault could not be served: the free-page
 // segment is empty, the frame source granted nothing, and nothing could be
 // reclaimed.
 var ErrNoMemory = errors.New("manager: no page frames available")
+
+// ErrRetriesExhausted reports that a transient storage error persisted
+// through the manager's full retry budget. The last storage error is
+// wrapped, so errors.Is still matches storage.ErrTransient/ErrInjected.
+var ErrRetriesExhausted = errors.New("manager: storage retries exhausted")
 
 // FrameSource is where a manager obtains page frames beyond its initial
 // allocation and returns surplus ones — the System Page Cache Manager in a
@@ -54,6 +61,7 @@ type Stats struct {
 	Grants       int64 // frames obtained from the frame source
 	Returns      int64 // frames returned to the frame source
 	MigrateCalls int64 // MigratePages invocations issued by this manager
+	Retries      int64 // transient storage errors retried
 }
 
 // Config specializes a Generic manager. Only Name and Backing are
@@ -95,6 +103,13 @@ type Config struct {
 	// RequestBatch is how many frames to ask the source for when the free
 	// list runs dry (default 8).
 	RequestBatch int
+	// MaxRetries bounds how many times a transient storage error
+	// (storage.ErrTransient) is retried on the fill, writeback and swap
+	// paths. 0 disables retrying: every storage error propagates at once.
+	MaxRetries int
+	// RetryBackoff is the virtual-time delay before the first retry; it
+	// doubles per attempt. Defaults to 1 ms when MaxRetries > 0.
+	RetryBackoff time.Duration
 }
 
 // Generic is the generic segment manager of §2.2. It maintains a free-page
@@ -144,6 +159,9 @@ func NewGeneric(k *kernel.Kernel, cfg Config) (*Generic, error) {
 	if cfg.RequestBatch <= 0 {
 		cfg.RequestBatch = 8
 	}
+	if cfg.MaxRetries > 0 && cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
 	free, err := k.CreateSegment(cfg.Name+".free", 1)
 	if err != nil {
 		return nil, err
@@ -184,6 +202,51 @@ func (g *Generic) Stats() Stats { return g.stats }
 
 // ResetStats zeroes the activity counters (bookkeeping state is kept).
 func (g *Generic) ResetStats() { g.stats = Stats{} }
+
+// retryBacking applies the manager's retry budget to a backing-store
+// operation that just failed with err: a transient error
+// (storage.ErrTransient) is retried up to MaxRetries times with exponential
+// virtual-time backoff; a permanent error propagates immediately and
+// unchanged. When the budget runs out the last transient error is wrapped
+// in ErrRetriesExhausted — a typed error, never a silently corrupted frame.
+// Callers run the first attempt themselves and only reach here on failure,
+// so the no-error fast path never constructs the retry closure.
+func (g *Generic) retryBacking(err error, op func() error) error {
+	if err == nil || g.cfg.MaxRetries == 0 {
+		return err
+	}
+	backoff := g.cfg.RetryBackoff
+	for attempt := 0; attempt < g.cfg.MaxRetries; attempt++ {
+		if !errors.Is(err, storage.ErrTransient) {
+			return err
+		}
+		g.k.Clock().Advance(backoff)
+		backoff *= 2
+		g.stats.Retries++
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	if errors.Is(err, storage.ErrTransient) {
+		return fmt.Errorf("%w (manager %s, %d attempts): %w",
+			ErrRetriesExhausted, g.cfg.Name, g.cfg.MaxRetries+1, err)
+	}
+	return err
+}
+
+// AdoptResident registers every page currently present in seg as resident
+// under this manager — the bookkeeping half of adopting a revoked manager's
+// segment. The frames are already mapped; the adopting manager just needs
+// them in its clock so it can reclaim them later.
+func (g *Generic) AdoptResident(seg *kernel.Segment) {
+	seg.ForEachPage(func(page int64) bool {
+		key := resKey{seg: seg, page: page}
+		if _, ok := g.resIdx[key]; !ok {
+			g.addResident(key)
+		}
+		return true
+	})
+}
 
 // Manage registers the manager as a segment's manager.
 func (g *Generic) Manage(seg *kernel.Segment) {
@@ -317,11 +380,19 @@ func (g *Generic) PageIn(f kernel.Fault) error {
 	// has the free segment mapped into its own address space, §2.2).
 	if f.Kind == kernel.FaultMissing {
 		frame := g.free.FrameAt(fs.slot)
-		fillErr := error(nil)
+		var fillErr error
 		if g.cfg.Fill != nil {
 			fillErr = g.cfg.Fill(f, frame)
 		} else {
 			fillErr = g.cfg.Backing.Fill(f.Seg, f.Page, frame)
+		}
+		if fillErr != nil {
+			fillErr = g.retryBacking(fillErr, func() error {
+				if g.cfg.Fill != nil {
+					return g.cfg.Fill(f, frame)
+				}
+				return g.cfg.Backing.Fill(f.Seg, f.Page, frame)
+			})
 		}
 		switch {
 		case fillErr == nil:
@@ -535,8 +606,13 @@ func (g *Generic) evict(key resKey, flags kernel.PageFlags) error {
 			g.stats.Discards++
 			discarded = true
 		} else {
-			if err := g.cfg.Backing.Writeback(key.seg, key.page, key.seg.FrameAt(key.page)); err != nil {
-				return err
+			err := g.cfg.Backing.Writeback(key.seg, key.page, key.seg.FrameAt(key.page))
+			if err != nil {
+				if err = g.retryBacking(err, func() error {
+					return g.cfg.Backing.Writeback(key.seg, key.page, key.seg.FrameAt(key.page))
+				}); err != nil {
+					return err
+				}
 			}
 			g.stats.Writebacks++
 		}

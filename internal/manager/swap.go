@@ -40,7 +40,13 @@ func (g *Generic) SwapOut(seg *kernel.Segment) (SwapStats, error) {
 			st.DirtySkips++
 			g.stats.Discards++
 		case flags.Has(kernel.FlagDirty):
-			if err := g.cfg.Backing.Writeback(seg, p, seg.FrameAt(p)); err != nil {
+			err := g.cfg.Backing.Writeback(seg, p, seg.FrameAt(p))
+			if err != nil {
+				err = g.retryBacking(err, func() error {
+					return g.cfg.Backing.Writeback(seg, p, seg.FrameAt(p))
+				})
+			}
+			if err != nil {
 				return st, fmt.Errorf("swap out %v page %d: %w", seg, p, err)
 			}
 			g.stats.Writebacks++
@@ -78,7 +84,9 @@ func (g *Generic) SwapIn(seg *kernel.Segment, pages []int64) (SwapStats, error) 
 		fs := g.freeSlots[slotIdx]
 		frame := g.free.FrameAt(fs.slot)
 		if err := g.cfg.Backing.Fill(seg, p, frame); err != nil {
-			return st, fmt.Errorf("swap in %v page %d: %w", seg, p, err)
+			if err = g.retryBacking(err, func() error { return g.cfg.Backing.Fill(seg, p, frame) }); err != nil {
+				return st, fmt.Errorf("swap in %v page %d: %w", seg, p, err)
+			}
 		}
 		g.stats.Fills++
 		g.stats.MigrateCalls++

@@ -1,0 +1,119 @@
+package spcm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/phys"
+	"epcm/internal/sim"
+	"epcm/internal/storage"
+)
+
+// TestChaosMarketConservation is the market-conservation property test of
+// the chaos suite (scripts/check.sh runs everything matching -run Chaos
+// under -race): across seeded grant/access/settle schedules punctuated by
+// forced reclamation whose writebacks fail mid-reclaim, the invariants of
+// CheckInvariants must hold — drams earned equal drams held plus rent, tax
+// and I/O spent; no boot page pooled twice; every frame owned by exactly
+// one segment. The injected writeback failures mean Enforce reclaims only
+// part of what it wanted; that partial progress must still leave the books
+// balanced.
+func TestChaosMarketConservation(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		seed := 0x5EED_1000 + uint64(i)
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			runMarketChaos(t, seed)
+		})
+	}
+}
+
+func runMarketChaos(t *testing.T, seed uint64) {
+	policy := DefaultPolicy()
+	policy.FreeWhenUncontended = false // rent always charges: insolvency happens
+	fx := newFixture(t, policy)
+	inner := storage.NewStore(fx.clock, storage.NetworkServer(), 4096)
+	failing := &storage.FailingStore{Inner: inner, FailAfter: 1 << 62}
+
+	// Two funded clients so the market stays contended, one of them swap-
+	// backed through the failing store so mid-reclaim injection hits its
+	// writebacks.
+	debtor, err := manager.NewGeneric(fx.k, manager.Config{
+		Name:    "debtor",
+		Source:  fx.s,
+		Backing: manager.NewSwapBacking(failing),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.s.Register(debtor, "debtor", 2)
+	rival, _ := fx.newClient(t, "rival", 5)
+
+	seg, err := debtor.CreateManagedSegment("debtor-data")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := sim.NewRNG(seed)
+	for step := 0; step < 120; step++ {
+		switch rng.Intn(5) {
+		case 0:
+			if _, err := fx.s.RequestFrames(rival, rng.Intn(24)+1, phys.AnyFrame()); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if _, err := rival.ReturnFreeFrames(rng.Intn(12)); err != nil {
+				t.Fatal(err)
+			}
+		case 2, 3:
+			// Dirty pages of the debtor's segment so forced reclamation has
+			// writebacks to perform.
+			if err := fx.k.Access(seg, rng.Int63n(192), kernel.Write); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		case 4:
+			fx.s.ChargeIO(debtor, int64(rng.Intn(8)))
+		}
+		fx.clock.Advance(time.Duration(rng.Intn(400)) * time.Millisecond)
+		fx.s.SettleAll()
+
+		if step%20 == 19 {
+			// Run rent far past the debtor's income, clear reference bits so
+			// the reclaim clock can take pages, and enforce with writebacks
+			// failing from a seed-chosen point mid-reclaim.
+			fx.clock.Advance(time.Duration(60+rng.Intn(120)) * time.Second)
+			fx.s.SettleAll()
+			for _, pg := range seg.Pages() {
+				if err := fx.k.ModifyPageFlags(kernel.AppCred, seg, pg, 1, 0, kernel.FlagReferenced); err != nil {
+					t.Fatal(err)
+				}
+			}
+			failing.FailWrites = true
+			failing.TornWrites = rng.Bool(0.5)
+			failing.FailAfter = failing.Injected() + inner.Writes() + int64(rng.Intn(4))
+			if _, err := fx.s.Enforce(); err != nil && !errors.Is(err, storage.ErrInjected) {
+				t.Fatalf("enforce surfaced a non-injected error: %v", err)
+			}
+			failing.FailWrites, failing.TornWrites = false, false
+		}
+
+		if err := fx.s.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+
+	// Closing ledger: every frame of the machine is either in the SPCM pool,
+	// a client's free segment, or resident in a managed segment — counted
+	// exactly once.
+	total := fx.s.FreeFrames() + debtor.FreeFrames() + debtor.ResidentPages() +
+		rival.FreeFrames() + rival.ResidentPages()
+	if total != 1024 {
+		t.Fatalf("accounted %d frames after chaos, machine has 1024", total)
+	}
+	if err := fx.s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package spcm
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckInvariants verifies the market and frame-ownership invariants that
+// must hold across any injected fault schedule. It is callable from any
+// test (the chaos suite runs it after every scenario):
+//
+//  1. Frame conservation: every physical frame is held by exactly one
+//     segment and the kernel's ownership records agree (kernel check).
+//  2. Free-pool sanity: no boot page appears twice in the SPCM free pool,
+//     and every pooled page is actually present in the boot segment.
+//  3. Dram conservation, per account: drams earned equal drams held
+//     (balance) plus drams spent on rent, tax and I/O, within floating-
+//     point tolerance.
+func (s *SPCM) CheckInvariants() error {
+	if err := s.k.CheckFrameConservation(); err != nil {
+		return fmt.Errorf("spcm invariant: %w", err)
+	}
+	seen := make(map[int64]bool, len(s.freePages))
+	for _, p := range s.freePages {
+		if seen[p] {
+			return fmt.Errorf("spcm invariant: boot page %d pooled twice", p)
+		}
+		seen[p] = true
+		if !s.k.BootSegment().HasPage(p) {
+			return fmt.Errorf("spcm invariant: pooled boot page %d not in boot segment", p)
+		}
+	}
+	for _, g := range s.order {
+		a := s.accounts[g]
+		spent := a.rentPaid + a.taxPaid + a.ioPaid
+		diff := math.Abs(a.earned - spent - a.balance)
+		tol := 1e-6 * math.Max(1, math.Abs(a.earned))
+		if diff > tol {
+			return fmt.Errorf("spcm invariant: account %q drams leak: earned %.9g != balance %.9g + spent %.9g (diff %.3g)",
+				a.name, a.earned, a.balance, spent, diff)
+		}
+	}
+	return nil
+}

@@ -103,6 +103,7 @@ type Stats struct {
 	Deferred       int64 // requests partially satisfied or postponed
 	Returned       int64 // frames returned voluntarily
 	ForcedReclaims int64 // frames taken from insolvent accounts
+	Revocations    int64 // accounts closed by manager revocation
 }
 
 // SPCM is the system page cache manager.
@@ -113,6 +114,14 @@ type SPCM struct {
 	// freePages are boot-segment page numbers (== PFNs) available to grant.
 	freePages []int64
 	accounts  map[*manager.Generic]*Account
+	// order lists accounts in registration order; SettleAll and Enforce
+	// iterate it instead of the accounts map so injected fault schedules
+	// (and their event logs) are byte-identical run to run.
+	order []*manager.Generic
+	// grantGate, when set, may veto a frame grant — the fault plane's
+	// transient frame-exhaustion injection. A vetoed request is refused,
+	// not an error; the requesting manager falls back to reclamation.
+	grantGate func(n int) bool
 	// outstanding demand drives the FreeWhenUncontended rule: number of
 	// frames requested but not granted since the last settle-all.
 	unmetDemand int
@@ -154,8 +163,13 @@ func (s *SPCM) Register(g *manager.Generic, name string, income float64) *Accoun
 	}
 	a := &Account{name: name, mgr: g, income: income, lastSettle: s.clock.Now()}
 	s.accounts[g] = a
+	s.order = append(s.order, g)
 	return a
 }
+
+// SetGrantGate installs (or, with nil, removes) the grant gate consulted by
+// RequestFrames and RequestContiguous before frames are picked.
+func (s *SPCM) SetGrantGate(gate func(n int) bool) { s.grantGate = gate }
 
 // Account returns the account of a registered manager.
 func (s *SPCM) Account(g *manager.Generic) (*Account, bool) {
@@ -198,10 +212,11 @@ func (s *SPCM) settle(a *Account) {
 	}
 }
 
-// SettleAll settles every account (periodic market tick).
+// SettleAll settles every account (periodic market tick), in registration
+// order for deterministic schedules.
 func (s *SPCM) SettleAll() {
-	for _, a := range s.accounts {
-		s.settle(a)
+	for _, g := range s.order {
+		s.settle(s.accounts[g])
 	}
 }
 
@@ -223,6 +238,13 @@ func (s *SPCM) RequestFrames(g *manager.Generic, n int, constraint phys.Range) (
 	}
 	s.settle(a)
 	if a.balance < s.policy.MinGrantBalance {
+		s.stats.Refused++
+		s.unmetDemand += n
+		return 0, nil
+	}
+	if s.grantGate != nil && !s.grantGate(n) {
+		// Injected transient exhaustion: the pool acts empty for this
+		// request; the manager falls back to local reclamation.
 		s.stats.Refused++
 		s.unmetDemand += n
 		return 0, nil
@@ -285,6 +307,11 @@ func (s *SPCM) RequestContiguous(g *manager.Generic, n int) (int, error) {
 	s.settle(a)
 	if a.balance < s.policy.MinGrantBalance {
 		s.stats.Refused++
+		return 0, nil
+	}
+	if s.grantGate != nil && !s.grantGate(n) {
+		s.stats.Refused++
+		s.unmetDemand += n
 		return 0, nil
 	}
 	run := s.findRun(n)
@@ -377,9 +404,16 @@ func (s *SPCM) ReturnFrames(g *manager.Generic, slots []int64) error {
 // back: the account's own manager reclaims (choosing its victims — the
 // manager keeps complete control over *which* frames to surrender) and the
 // freed frames return to the pool. Returns the number of frames reclaimed.
+//
+// Enforcement must survive injected failures mid-reclaim: an error against
+// one account (a writeback that fails during its reclaim, say) does not stop
+// enforcement of the others. Accounts are processed in registration order;
+// per-account errors are joined into the returned error.
 func (s *SPCM) Enforce() (int, error) {
 	total := 0
-	for g, a := range s.accounts {
+	var errs []error
+	for _, g := range s.order {
+		a := s.accounts[g]
 		s.settle(a)
 		if a.balance >= 0 {
 			continue
@@ -399,17 +433,77 @@ func (s *SPCM) Enforce() (int, error) {
 		}
 		if g.FreeFrames() < pages {
 			if _, err := g.Reclaim(pages-g.FreeFrames(), phys.AnyFrame()); err != nil {
-				return total, err
+				// Partial reclaim: return whatever freed up and move on.
+				errs = append(errs, fmt.Errorf("spcm: enforce %s: %w", a.name, err))
 			}
 		}
-		n, err := g.ReturnFreeFrames(pages)
+		want := pages
+		if free := g.FreeFrames(); want > free {
+			want = free
+		}
+		if want == 0 {
+			continue
+		}
+		n, err := g.ReturnFreeFrames(want)
 		if err != nil {
-			return total, err
+			errs = append(errs, fmt.Errorf("spcm: enforce %s: %w", a.name, err))
+			continue
 		}
 		total += n
 		s.stats.ForcedReclaims += int64(n)
 	}
-	return total, nil
+	return total, errors.Join(errs...)
+}
+
+// Revoke closes a dead manager's account and repossesses its free-page
+// segment: every frame in it migrates back to the boot segment and rejoins
+// the free pool, and the now-empty free segment is deleted. The manager's
+// *resident* pages are not touched — those live in segments the kernel has
+// already reassigned to the default manager. Returns the number of frames
+// repossessed.
+func (s *SPCM) Revoke(g *manager.Generic) (int, error) {
+	if _, ok := s.accounts[g]; !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
+	}
+	delete(s.accounts, g)
+	for i, og := range s.order {
+		if og == g {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.stats.Revocations++
+	free := g.FreeSegment()
+	n := 0
+	var firstErr error
+	for _, slot := range free.Pages() {
+		frame := free.FrameAt(slot)
+		bootPage := int64(frame.PFN())
+		if err := s.k.MigratePages(kernel.SystemCred, free, s.k.BootSegment(), slot, bootPage, 1, 0,
+			kernel.FlagRW|kernel.FlagDirty|kernel.FlagReferenced|kernel.FlagDiscardable|kernel.FlagPinned); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.freePages = append(s.freePages, bootPage)
+		n++
+	}
+	if firstErr == nil {
+		// The free segment is empty; delete it. DeleteSegment would notify
+		// the dead manager, so clear the manager binding first.
+		s.k.SetSegmentManager(free, nil)
+		if err := s.k.DeleteSegment(kernel.SystemCred, free); err != nil {
+			firstErr = err
+		}
+	}
+	if s.unmetDemand > 0 {
+		s.unmetDemand -= n
+		if s.unmetDemand < 0 {
+			s.unmetDemand = 0
+		}
+	}
+	return n, firstErr
 }
 
 // EstimateWait answers the batch scheduler's query (§2.4): how long until

@@ -62,6 +62,41 @@ func Prefilled() LatencyModel {
 	return LatencyModel{Name: "prefilled"}
 }
 
+// Op distinguishes the two block operations for fault hooks.
+type Op uint8
+
+// Block operations.
+const (
+	OpFetch Op = iota
+	OpStore
+)
+
+func (o Op) String() string {
+	if o == OpStore {
+		return "store"
+	}
+	return "fetch"
+}
+
+// InjectedFault is a failure a FaultHook orders the store to produce.
+type InjectedFault struct {
+	// Err is returned from the operation. It should wrap ErrInjected (and
+	// ErrTransient when the failure is retryable) so errors.Is works
+	// through manager retry paths.
+	Err error
+	// Torn, on a store operation, persists the first half of the buffer
+	// before Err surfaces — a torn write: later reads of the block see the
+	// new prefix and the old suffix.
+	Torn bool
+}
+
+// FaultHook inspects every Fetch and Store before it executes and may
+// inject a failure by returning a non-nil InjectedFault. The device latency
+// is still charged: a failed access takes time. A nil hook costs one branch
+// on the I/O path, keeping the zero-overhead property when no fault plane
+// is armed.
+type FaultHook func(op Op, name string, block int64) *InjectedFault
+
 // Store is the standard BlockStore implementation.
 type Store struct {
 	clock     *sim.Clock
@@ -75,6 +110,7 @@ type Store struct {
 	// before a measured run, as the paper does by running applications
 	// "with the files they read cached in memory").
 	charge bool
+	hook   FaultHook
 }
 
 // NewStore builds a block store over the given clock and latency model.
@@ -94,6 +130,9 @@ func NewStore(clock *sim.Clock, model LatencyModel, blockSize int) *Store {
 
 // SetCharging enables or disables latency charging (setup vs measured run).
 func (s *Store) SetCharging(on bool) { s.charge = on }
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook.
+func (s *Store) SetFaultHook(h FaultHook) { s.hook = h }
 
 // BlockSize reports the block size.
 func (s *Store) BlockSize() int { return s.blockSize }
@@ -122,6 +161,11 @@ func (s *Store) Fetch(name string, block int64, buf []byte) error {
 	}
 	s.reads++
 	s.chargeAccess(len(buf))
+	if s.hook != nil {
+		if inj := s.hook(OpFetch, name, block); inj != nil {
+			return inj.Err
+		}
+	}
 	f := s.files[name]
 	data, ok := f[block]
 	if !ok {
@@ -145,6 +189,14 @@ func (s *Store) Store(name string, block int64, buf []byte) error {
 	}
 	s.writes++
 	s.chargeAccess(len(buf))
+	if s.hook != nil {
+		if inj := s.hook(OpStore, name, block); inj != nil {
+			if inj.Torn {
+				s.tornWrite(name, block, buf)
+			}
+			return inj.Err
+		}
+	}
 	f, ok := s.files[name]
 	if !ok {
 		f = make(map[int64][]byte)
@@ -165,6 +217,29 @@ func (s *Store) Store(name string, block int64, buf []byte) error {
 		s.sizes[name] = block + 1
 	}
 	return nil
+}
+
+// tornWrite persists the first half of buf into the block, leaving the old
+// suffix in place — the on-media state after a write interrupted mid-block.
+func (s *Store) tornWrite(name string, block int64, buf []byte) {
+	half := len(buf) / 2
+	if half == 0 {
+		return
+	}
+	f, ok := s.files[name]
+	if !ok {
+		f = make(map[int64][]byte)
+		s.files[name] = f
+	}
+	data, ok := f[block]
+	if !ok {
+		data = make([]byte, s.blockSize)
+		f[block] = data
+	}
+	copy(data[:half], buf[:half])
+	if block+1 > s.sizes[name] {
+		s.sizes[name] = block + 1
+	}
 }
 
 // Size implements BlockStore.
@@ -200,17 +275,55 @@ type FailingStore struct {
 	FailAfter int64
 	// FailReads and FailWrites select which operations fail.
 	FailReads, FailWrites bool
-	ops                   int64
+	// FailOnce makes the store recover after the first injected failure:
+	// both failure arms are disabled once an error has been returned, so
+	// the next operation succeeds (a transient device hiccup).
+	FailOnce bool
+	// TornWrites makes a failing Store persist the first half of the
+	// buffer before the error surfaces (a write interrupted mid-block);
+	// the injected error additionally wraps ErrTornWrite.
+	TornWrites bool
+	// Transient marks injected errors retryable: they additionally wrap
+	// ErrTransient, so manager retry-with-backoff paths engage.
+	Transient bool
+	ops       int64
+	injected  int64
 }
 
-// ErrInjected is the failure FailingStore injects.
+// ErrInjected is the failure FailingStore and the fault plane inject.
 var ErrInjected = fmt.Errorf("storage: injected failure")
+
+// ErrTransient marks a storage failure as retryable: the device or server
+// hiccuped, and repeating the operation may succeed. Managers bound a
+// retry-with-backoff loop on it; errors not wrapping ErrTransient are
+// permanent and must propagate.
+var ErrTransient = fmt.Errorf("storage: transient failure")
+
+// ErrTornWrite marks a store failure that persisted a partial block: the
+// block now holds the new prefix and the old suffix.
+var ErrTornWrite = fmt.Errorf("storage: torn write")
+
+// Injected reports how many failures have been injected.
+func (f *FailingStore) Injected() int64 { return f.injected }
+
+// inject builds the error for one injected failure and applies the
+// FailOnce recovery rule.
+func (f *FailingStore) inject(err error) error {
+	f.injected++
+	if f.FailOnce {
+		f.FailReads, f.FailWrites = false, false
+	}
+	if f.Transient {
+		err = fmt.Errorf("%w: %w", ErrTransient, err)
+	}
+	return err
+}
 
 // Fetch implements BlockStore.
 func (f *FailingStore) Fetch(name string, block int64, buf []byte) error {
 	f.ops++
 	if f.FailReads && f.ops > f.FailAfter {
-		return fmt.Errorf("%w (fetch %q block %d)", ErrInjected, name, block)
+		return f.inject(fmt.Errorf("%w (fetch %q block %d)", ErrInjected, name, block))
 	}
 	return f.Inner.Fetch(name, block, buf)
 }
@@ -219,7 +332,19 @@ func (f *FailingStore) Fetch(name string, block int64, buf []byte) error {
 func (f *FailingStore) Store(name string, block int64, buf []byte) error {
 	f.ops++
 	if f.FailWrites && f.ops > f.FailAfter {
-		return fmt.Errorf("%w (store %q block %d)", ErrInjected, name, block)
+		err := fmt.Errorf("%w (store %q block %d)", ErrInjected, name, block)
+		if f.TornWrites {
+			if half := len(buf) / 2; half > 0 {
+				// The prefix reaches the media; the torn suffix does not.
+				// (Inner.Store zero-fills past the short buffer, which is
+				// the post-crash state of an unwritten tail sector.)
+				if werr := f.Inner.Store(name, block, buf[:half]); werr != nil {
+					return werr
+				}
+			}
+			err = fmt.Errorf("%w: %w", ErrTornWrite, err)
+		}
+		return f.inject(err)
 	}
 	return f.Inner.Store(name, block, buf)
 }

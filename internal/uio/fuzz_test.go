@@ -1,0 +1,77 @@
+package uio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzUIO drives byte-granular ReadAt/WriteAt scatter-gather traffic over a
+// cached file and checks every read against a flat byte-slice model. The
+// properties under test are the bounds arithmetic of the block-spanning
+// loops: partial-block read-modify-write must not clobber neighbouring
+// bytes, reads of never-written regions must see zeros, and no op may
+// return a short count without an error.
+//
+// Offsets are capped at 16 KB (5 blocks — well inside the fixture's
+// 64-frame free segment) and lengths at 512 bytes, so the fuzzer spends its
+// budget on boundary alignment rather than frame exhaustion.
+func FuzzUIO(f *testing.F) {
+	f.Add([]byte{0, 15, 250, 30, 1, 15, 250, 30})      // write then read across block 0/1 boundary
+	f.Add([]byte{0, 0, 0, 1, 1, 0, 0, 255})            // 1-byte write, long read
+	f.Add([]byte("straddle\xff\x00straddle\x0f\x10p")) // unaligned soup
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const (
+			maxOff = 16 << 10
+			maxLen = 512
+		)
+		k, _, fseg := setup(t)
+		file := Open(k, fseg, "fuzz", 0)
+		model := make([]byte, 0, maxOff+maxLen)
+		grow := func(n int) {
+			for len(model) < n {
+				model = append(model, 0)
+			}
+		}
+		for step := 0; len(data) >= 4; step++ {
+			op := data[0] & 1
+			off := int64(binary.BigEndian.Uint16(data[1:3])) % maxOff
+			ln := int(data[3])%maxLen + 1
+			data = data[4:]
+			switch op {
+			case 0:
+				p := make([]byte, ln)
+				for i := range p {
+					p[i] = byte(step*31 + i)
+				}
+				n, err := file.WriteAt(p, off)
+				if err != nil {
+					t.Fatalf("WriteAt(%d bytes, off=%d): %v", ln, off, err)
+				}
+				if n != ln {
+					t.Fatalf("WriteAt short count %d, want %d", n, ln)
+				}
+				grow(int(off) + ln)
+				copy(model[off:], p)
+			case 1:
+				p := make([]byte, ln)
+				n, err := file.ReadAt(p, off)
+				if err != nil {
+					t.Fatalf("ReadAt(%d bytes, off=%d): %v", ln, off, err)
+				}
+				if n != ln {
+					t.Fatalf("ReadAt short count %d, want %d", n, ln)
+				}
+				grow(int(off) + ln) // unwritten regions read as zeros
+				if !bytes.Equal(p, model[off:int(off)+ln]) {
+					t.Fatalf("ReadAt(off=%d, len=%d) diverged from model", off, ln)
+				}
+			}
+		}
+		// The file can never grow beyond the capped offset range.
+		bs := int64(file.BlockSize())
+		if file.SizeBlocks() > (maxOff+maxLen+bs-1)/bs {
+			t.Fatalf("file grew to %d blocks, beyond the capped offset range", file.SizeBlocks())
+		}
+	})
+}

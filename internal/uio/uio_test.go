@@ -37,7 +37,7 @@ func (m *fileManager) HandleFault(f kernel.Fault) error {
 	return m.k.MigratePages(kernel.AppCred, m.free, f.Seg, src, f.Page, 1, kernel.FlagRW, 0)
 }
 
-func setup(t *testing.T) (*kernel.Kernel, *fileManager, *kernel.Segment) {
+func setup(t testing.TB) (*kernel.Kernel, *fileManager, *kernel.Segment) {
 	t.Helper()
 	mem := phys.NewMemory(phys.Config{FrameSize: 4096, TotalBytes: 1 << 20, StoreData: true})
 	var clock sim.Clock

@@ -22,6 +22,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== chaos suite (16 seeds x 4 injection kinds, -race) =="
+go test -race -run Chaos -count=1 ./internal/core ./internal/spcm
+
+echo "== fuzz smoke (10s per target) =="
+go test -run='^$' -fuzz='^FuzzMappingTable$' -fuzztime=10s ./internal/kernel
+go test -run='^$' -fuzz='^FuzzUIO$' -fuzztime=10s ./internal/uio
+
 echo "== bench smoke (1 iteration) =="
 go test -bench=Harness -benchtime=1x -run='^$' .
 
