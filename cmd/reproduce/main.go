@@ -13,6 +13,8 @@
 //	reproduce -table 4 -txns 8000
 //	reproduce -par 1                 # sequential
 //	reproduce -json BENCH_reproduce.json
+//	reproduce -sched concurrent      # concurrent fault-delivery scheduler
+//	reproduce -plane                 # also run the delivery-plane scaling table
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 
 	"epcm/internal/experiments"
 	"epcm/internal/harness"
+	"epcm/internal/kernel"
 )
 
 // trajectory is the BENCH_reproduce.json record: one wall-clock and
@@ -54,7 +57,13 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also print the design-choice ablation summary")
 	par := flag.Int("par", 0, "worker-pool size; 0 means GOMAXPROCS, 1 means sequential")
 	jsonPath := flag.String("json", "", "write a benchmark-trajectory record to this path")
+	sched := flag.String("sched", "serial", "fault-delivery scheduler: serial (deterministic) or concurrent")
+	planeTbl := flag.Bool("plane", false, "also run the delivery-plane throughput scaling table (wall-clock columns; not part of the golden output)")
 	flag.Parse()
+	if err := kernel.SetBootScheduler(*sched); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(2)
+	}
 
 	var tasks []harness.Task[*experiments.Report]
 	add := func(name string, run func() (*experiments.Report, error)) {
@@ -75,6 +84,9 @@ func main() {
 	}
 	if *ablations {
 		add("ablations", experiments.Ablations)
+	}
+	if *planeTbl {
+		add("plane", func() (*experiments.Report, error) { return experiments.PlaneTable(0) })
 	}
 
 	start := time.Now()

@@ -295,6 +295,16 @@ const (
 	DeliverSeparateProcess = kernel.DeliverSeparateProcess
 )
 
+// Fault-delivery scheduler modes (Config.Scheduler). SerialScheduler (the
+// default) drains deliveries deterministically on the faulting goroutine;
+// ConcurrentScheduler gives every segment manager its own worker goroutine
+// so applications on different managers fault in parallel. Call
+// System.Shutdown when done with a concurrent system to retire the workers.
+const (
+	SerialScheduler     = "serial"
+	ConcurrentScheduler = "concurrent"
+)
+
 // --- User-level algorithms --------------------------------------------------
 
 // NewCheckpointer builds a concurrent checkpointer (wire its Hook into the

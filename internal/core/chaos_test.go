@@ -31,16 +31,22 @@ var chaosSeeds = func() []uint64 {
 	return seeds
 }()
 
+// chaosSchedulers: every scenario runs under both delivery-plane modes, so
+// the concurrent scheduler faces the same injected failures (crash recovery
+// included) as the deterministic serial one.
+var chaosSchedulers = []string{"serial", "concurrent"}
+
 // chaosSystem boots a 256-frame machine with the given plan armed, an
 // application manager named "victim-manager" (swap-backed, with a retry
 // budget) and one managed segment. The workload's footprint exceeds
 // physical memory, so reclaim, writeback and re-fetch traffic all happen.
-func chaosSystem(t testing.TB, plan faultinject.Plan) (*System, *manager.Generic, *kernel.Segment) {
+func chaosSystem(t testing.TB, plan faultinject.Plan, sched string) (*System, *manager.Generic, *kernel.Segment) {
 	t.Helper()
-	sys, err := Boot(Config{MemoryBytes: 1 << 20, StoreData: true, FaultPlan: &plan})
+	sys, err := Boot(Config{MemoryBytes: 1 << 20, StoreData: true, FaultPlan: &plan, Scheduler: sched})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(sys.Shutdown)
 	g, _, err := sys.NewAppManager(manager.Config{
 		Name:       "victim-manager",
 		Backing:    manager.NewSwapBacking(sys.Store),
@@ -123,63 +129,69 @@ func checkChaosInvariants(t testing.TB, sys *System) {
 // TestChaosStorageErrors: injected fetch/store errors and torn writes,
 // marked transient so the manager retry path engages.
 func TestChaosStorageErrors(t *testing.T) {
-	for _, seed := range chaosSeeds {
-		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
-			sys, g, seg := chaosSystem(t, faultinject.Plan{
-				Seed:             seed,
-				FetchErrorProb:   0.08,
-				StoreErrorProb:   0.08,
-				TornWriteProb:    0.3,
-				TransientStorage: true,
+	for _, sched := range chaosSchedulers {
+		for _, seed := range chaosSeeds {
+			t.Run(fmt.Sprintf("%s/seed=%#x", sched, seed), func(t *testing.T) {
+				sys, g, seg := chaosSystem(t, faultinject.Plan{
+					Seed:             seed,
+					FetchErrorProb:   0.08,
+					StoreErrorProb:   0.08,
+					TornWriteProb:    0.3,
+					TransientStorage: true,
+				}, sched)
+				chaosWorkload(t, sys, seg, seed)
+				checkChaosInvariants(t, sys)
+				if sum := sys.Chaos.Summary(); sum.FetchErrors+sum.StoreErrors == 0 {
+					t.Fatal("schedule injected no storage errors")
+				}
+				if g.Stats().Retries == 0 {
+					t.Fatal("transient errors never engaged the retry path")
+				}
 			})
-			chaosWorkload(t, sys, seg, seed)
-			checkChaosInvariants(t, sys)
-			if sum := sys.Chaos.Summary(); sum.FetchErrors+sum.StoreErrors == 0 {
-				t.Fatal("schedule injected no storage errors")
-			}
-			if g.Stats().Retries == 0 {
-				t.Fatal("transient errors never engaged the retry path")
-			}
-		})
+		}
 	}
 }
 
 // TestChaosDeliveryLoss: dropped and delayed fault deliveries.
 func TestChaosDeliveryLoss(t *testing.T) {
-	for _, seed := range chaosSeeds {
-		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
-			sys, _, seg := chaosSystem(t, faultinject.Plan{
-				Seed:              seed,
-				DropDeliveryProb:  0.10,
-				DelayDeliveryProb: 0.10,
-				DeliveryDelay:     2 * time.Millisecond,
+	for _, sched := range chaosSchedulers {
+		for _, seed := range chaosSeeds {
+			t.Run(fmt.Sprintf("%s/seed=%#x", sched, seed), func(t *testing.T) {
+				sys, _, seg := chaosSystem(t, faultinject.Plan{
+					Seed:              seed,
+					DropDeliveryProb:  0.10,
+					DelayDeliveryProb: 0.10,
+					DeliveryDelay:     2 * time.Millisecond,
+				}, sched)
+				chaosWorkload(t, sys, seg, seed)
+				checkChaosInvariants(t, sys)
+				st := sys.Kernel.Stats()
+				if st.DroppedDeliveries == 0 && st.DelayedDeliveries == 0 {
+					t.Fatal("schedule injected no delivery faults")
+				}
 			})
-			chaosWorkload(t, sys, seg, seed)
-			checkChaosInvariants(t, sys)
-			st := sys.Kernel.Stats()
-			if st.DroppedDeliveries == 0 && st.DelayedDeliveries == 0 {
-				t.Fatal("schedule injected no delivery faults")
-			}
-		})
+		}
 	}
 }
 
 // TestChaosFrameExhaustion: the SPCM periodically refuses grants; managers
 // must fall back to local reclamation without corrupting frame state.
 func TestChaosFrameExhaustion(t *testing.T) {
-	for _, seed := range chaosSeeds {
-		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
-			sys, _, seg := chaosSystem(t, faultinject.Plan{
-				Seed:         seed,
-				ExhaustEvery: 3,
-				ExhaustLen:   2,
+	for _, sched := range chaosSchedulers {
+		for _, seed := range chaosSeeds {
+			t.Run(fmt.Sprintf("%s/seed=%#x", sched, seed), func(t *testing.T) {
+				sys, _, seg := chaosSystem(t, faultinject.Plan{
+					Seed:         seed,
+					ExhaustEvery: 3,
+					ExhaustLen:   2,
+				}, sched)
+				chaosWorkload(t, sys, seg, seed)
+				checkChaosInvariants(t, sys)
+				if sys.Chaos.Summary().RefusedGrants == 0 {
+					t.Fatal("schedule refused no grants")
+				}
 			})
-			chaosWorkload(t, sys, seg, seed)
-			checkChaosInvariants(t, sys)
-			if sys.Chaos.Summary().RefusedGrants == 0 {
-				t.Fatal("schedule refused no grants")
-			}
-		})
+		}
 	}
 }
 
@@ -188,59 +200,64 @@ func TestChaosFrameExhaustion(t *testing.T) {
 // managed must be live under the default manager, its SPCM account closed,
 // its free-page segment repossessed — and every page still reachable.
 func TestChaosManagerCrash(t *testing.T) {
-	for _, seed := range chaosSeeds {
-		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
-			sys, g, seg := chaosSystem(t, faultinject.Plan{
-				Seed:             seed,
-				FetchErrorProb:   0.05,
-				StoreErrorProb:   0.05,
-				TransientStorage: true,
-				CrashManager:     "victim-manager",
-				CrashAtFault:     int64(10 + seed%23),
-			})
-			chaosWorkload(t, sys, seg, seed)
+	for _, sched := range chaosSchedulers {
+		for _, seed := range chaosSeeds {
+			t.Run(fmt.Sprintf("%s/seed=%#x", sched, seed), func(t *testing.T) {
+				sys, g, seg := chaosSystem(t, faultinject.Plan{
+					Seed:             seed,
+					FetchErrorProb:   0.05,
+					StoreErrorProb:   0.05,
+					TransientStorage: true,
+					CrashManager:     "victim-manager",
+					CrashAtFault:     int64(10 + seed%23),
+				}, sched)
+				chaosWorkload(t, sys, seg, seed)
 
-			if !sys.Chaos.Crashed("victim-manager") {
-				t.Fatal("victim manager never crashed")
-			}
-			if sys.Chaos.Summary().ManagerCrashes == 0 {
-				t.Fatal("crash not recorded in summary")
-			}
-			if sys.Kernel.Stats().Revocations == 0 {
-				t.Fatal("kernel recorded no revocation")
-			}
-			// Every segment the victim managed fell back to the default
-			// manager (SetSegmentManager fallback semantics).
-			if seg.Manager() != kernel.Manager(sys.Default) {
-				t.Fatalf("victim segment managed by %v, want default manager", seg.Manager())
-			}
-			// Its market account is closed and its free segment repossessed.
-			if _, ok := sys.SPCM.Account(g); ok {
-				t.Fatal("dead manager still has a market account")
-			}
-			if sys.SPCM.Stats().Revocations == 0 {
-				t.Fatal("SPCM recorded no revocation")
-			}
-			checkChaosInvariants(t, sys)
-			// The adopted segment is fully live: every page of the footprint
-			// is reachable through the default manager, with no injection
-			// interference.
-			sys.Chaos.Disarm()
-			for p := int64(0); p < 300; p++ {
-				if err := sys.Kernel.Access(seg, p, kernel.Read); err != nil {
-					t.Fatalf("page %d unreachable after adoption: %v", p, err)
+				if !sys.Chaos.Crashed("victim-manager") {
+					t.Fatal("victim manager never crashed")
 				}
-			}
-			checkChaosInvariants(t, sys)
-		})
+				if sys.Chaos.Summary().ManagerCrashes == 0 {
+					t.Fatal("crash not recorded in summary")
+				}
+				if sys.Kernel.Stats().Revocations == 0 {
+					t.Fatal("kernel recorded no revocation")
+				}
+				// Every segment the victim managed fell back to the default
+				// manager (SetSegmentManager fallback semantics).
+				if seg.Manager() != kernel.Manager(sys.Default) {
+					t.Fatalf("victim segment managed by %v, want default manager", seg.Manager())
+				}
+				// Its market account is closed and its free segment repossessed.
+				if _, ok := sys.SPCM.Account(g); ok {
+					t.Fatal("dead manager still has a market account")
+				}
+				if sys.SPCM.Stats().Revocations == 0 {
+					t.Fatal("SPCM recorded no revocation")
+				}
+				checkChaosInvariants(t, sys)
+				// The adopted segment is fully live: every page of the footprint
+				// is reachable through the default manager, with no injection
+				// interference.
+				sys.Chaos.Disarm()
+				for p := int64(0); p < 300; p++ {
+					if err := sys.Kernel.Access(seg, p, kernel.Read); err != nil {
+						t.Fatalf("page %d unreachable after adoption: %v", p, err)
+					}
+				}
+				checkChaosInvariants(t, sys)
+			})
+		}
 	}
 }
 
 // TestChaosDeterminism: the same seed must reproduce the same schedule —
 // byte-identical event logs, identical summaries, identical final virtual
 // clocks — across two independent runs of the crash-plus-storage scenario.
+// Both schedulers must be deterministic: the workload has one driving
+// process, so even the concurrent scheduler's deliveries form a single
+// serialized chain of enqueue/reply pairs.
 func TestChaosDeterminism(t *testing.T) {
-	run := func(seed uint64) ([]string, faultinject.Summary, time.Duration) {
+	run := func(sched string, seed uint64) ([]string, faultinject.Summary, time.Duration) {
 		sys, _, seg := chaosSystem(t, faultinject.Plan{
 			Seed:              seed,
 			FetchErrorProb:    0.06,
@@ -254,25 +271,27 @@ func TestChaosDeterminism(t *testing.T) {
 			ExhaustLen:        1,
 			CrashManager:      "victim-manager",
 			CrashAtFault:      40,
-		})
+		}, sched)
 		chaosWorkload(t, sys, seg, seed)
 		checkChaosInvariants(t, sys)
 		return sys.Chaos.EventLog(), sys.Chaos.Summary(), sys.Clock.Now()
 	}
-	for _, seed := range chaosSeeds[:4] {
-		log1, sum1, t1 := run(seed)
-		log2, sum2, t2 := run(seed)
-		if len(log1) == 0 {
-			t.Fatalf("seed %#x: empty injection log", seed)
-		}
-		if sum1 != sum2 {
-			t.Fatalf("seed %#x: summaries differ:\n%v\n%v", seed, sum1, sum2)
-		}
-		if t1 != t2 {
-			t.Fatalf("seed %#x: final clocks differ: %v vs %v", seed, t1, t2)
-		}
-		if strings.Join(log1, "\n") != strings.Join(log2, "\n") {
-			t.Fatalf("seed %#x: event logs differ", seed)
+	for _, sched := range chaosSchedulers {
+		for _, seed := range chaosSeeds[:4] {
+			log1, sum1, t1 := run(sched, seed)
+			log2, sum2, t2 := run(sched, seed)
+			if len(log1) == 0 {
+				t.Fatalf("%s seed %#x: empty injection log", sched, seed)
+			}
+			if sum1 != sum2 {
+				t.Fatalf("%s seed %#x: summaries differ:\n%v\n%v", sched, seed, sum1, sum2)
+			}
+			if t1 != t2 {
+				t.Fatalf("%s seed %#x: final clocks differ: %v vs %v", sched, seed, t1, t2)
+			}
+			if strings.Join(log1, "\n") != strings.Join(log2, "\n") {
+				t.Fatalf("%s seed %#x: event logs differ", sched, seed)
+			}
 		}
 	}
 }

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"epcm/internal/defaultmgr"
@@ -51,6 +52,11 @@ type Config struct {
 	// Nil (the default) leaves every seam a dead branch — reproduce
 	// output and benchmarks are unaffected.
 	FaultPlan *faultinject.Plan
+	// Scheduler selects the fault-delivery plane scheduler: "serial" (the
+	// deterministic default), "concurrent" (one worker goroutine per
+	// manager, sharded kernel caches), or "" to keep whatever mode the
+	// process selected with kernel.SetBootScheduler.
+	Scheduler string
 }
 
 // System is a booted V++ machine.
@@ -90,6 +96,19 @@ func Boot(cfg Config) (*System, error) {
 	clock := &sim.Clock{}
 	cost := sim.DECstation5000()
 	k := kernel.New(mem, clock, cost, kernel.Config{})
+	switch cfg.Scheduler {
+	case "": // keep the process-wide boot mode
+	case "serial":
+		if k.Scheduler().Concurrent() {
+			k.SetScheduler(kernel.NewSerialScheduler(k))
+		}
+	case "concurrent":
+		if !k.Scheduler().Concurrent() {
+			k.SetScheduler(kernel.NewConcurrentScheduler(k))
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %q (want serial or concurrent)", cfg.Scheduler)
+	}
 
 	latency := storage.NetworkServer()
 	if cfg.Storage != nil {
@@ -122,9 +141,15 @@ func Boot(cfg Config) (*System, error) {
 		if g, ok := dead.(*manager.Generic); ok {
 			_, _ = s.Revoke(g)
 		}
-		for _, seg := range adopted {
-			d.AdoptSegment(seg)
-		}
+		// Adoption runs in the default manager's delivery context
+		// (Scheduler.Exec), so under the concurrent scheduler it is
+		// serialized with the default manager's own fault handling and
+		// the manager needs no internal locking.
+		k.Scheduler().Exec(d, func() {
+			for _, seg := range adopted {
+				d.AdoptSegment(seg)
+			}
+		})
 	})
 
 	sys := &System{
@@ -168,3 +193,8 @@ func (s *System) OpenFile(name string) (*uio.File, error) {
 
 // Elapsed reports virtual time since boot.
 func (s *System) Elapsed() time.Duration { return s.Clock.Now() }
+
+// Shutdown stops the delivery-plane scheduler, releasing the per-manager
+// worker goroutines of the concurrent mode. The serial scheduler has
+// nothing to release, so calling Shutdown is always safe (and idempotent).
+func (s *System) Shutdown() { s.Kernel.Scheduler().Stop() }

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/phys"
+	"epcm/internal/sim"
+	"epcm/internal/spcm"
+	"epcm/internal/storage"
+)
+
+// This file is the delivery-plane throughput experiment: N applications,
+// each with its own separate-process segment manager (the paper's §2.3
+// configuration where "each application manages its own memory"), fault
+// concurrently against one kernel. It exists to measure the fault-delivery
+// plane itself — how fault throughput scales as managers are added — in
+// both scheduler modes.
+//
+// Two throughputs are reported:
+//
+//   - Wall faults/sec: real elapsed time for the Go process to drive every
+//     fault. Compares the serial scheduler's single-goroutine drain against
+//     the concurrent scheduler's per-manager workers; on a multi-core host
+//     the concurrent mode additionally overlaps manager CPU work.
+//   - Model faults/sec: virtual-time throughput under the paper's hardware
+//     model. The shared virtual clock is a work meter — every manager's
+//     handling cost accumulates onto it — so with each manager a separate
+//     process on its own processor, the run's makespan is the longest
+//     per-manager lane, not the sum. The workload gives every manager
+//     identical work, so the makespan is total virtual busy time divided by
+//     the manager count; aggregate throughput is faults over makespan.
+
+// PlaneOptions configures one delivery-plane throughput run.
+type PlaneOptions struct {
+	// Scheduler is "serial" or "concurrent".
+	Scheduler string
+	// Managers is how many separate-process segment managers (and driver
+	// applications) to run. Default 1.
+	Managers int
+	// FaultsPerManager is how many distinct pages each application touches
+	// (every touch is a missing fault). Default 512.
+	FaultsPerManager int
+	// MemoryBytes overrides physical memory; default is twice the working
+	// set plus slack, so the run measures delivery, not disk.
+	MemoryBytes int64
+}
+
+// PlaneResult is the outcome of one throughput run.
+type PlaneResult struct {
+	Scheduler         string        `json:"scheduler"`
+	Managers          int           `json:"managers"`
+	Faults            int64         `json:"faults"`
+	Wall              time.Duration `json:"-"`
+	WallMS            float64       `json:"wall_ms"`
+	VirtualBusy       time.Duration `json:"-"`
+	VirtualBusyMS     float64       `json:"virtual_busy_ms"`
+	Makespan          time.Duration `json:"-"`
+	MakespanMS        float64       `json:"makespan_ms"`
+	WallFaultsPerSec  float64       `json:"wall_faults_per_sec"`
+	ModelFaultsPerSec float64       `json:"model_faults_per_sec"`
+}
+
+// PlaneThroughput boots one kernel with opt.Managers separate-process
+// managers — each with its own swap store, all drawing frames from one
+// SPCM — and drives every application's faults: concurrently, one driver
+// goroutine per manager, under the concurrent scheduler; round-robin on the
+// calling goroutine under the serial scheduler (which is single-threaded by
+// design).
+func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
+	if opt.Managers <= 0 {
+		opt.Managers = 1
+	}
+	if opt.FaultsPerManager <= 0 {
+		opt.FaultsPerManager = 512
+	}
+	concurrent := false
+	switch opt.Scheduler {
+	case "", "serial":
+		opt.Scheduler = "serial"
+	case "concurrent":
+		concurrent = true
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheduler %q", opt.Scheduler)
+	}
+
+	const frameSize = 4096
+	workingSet := int64(opt.Managers) * int64(opt.FaultsPerManager) * frameSize
+	memBytes := opt.MemoryBytes
+	if memBytes == 0 {
+		memBytes = 2*workingSet + 8<<20
+	}
+
+	mem := phys.NewMemory(phys.Config{FrameSize: frameSize, TotalBytes: memBytes})
+	var clock sim.Clock
+	k := kernel.New(mem, &clock, sim.DECstation5000(), kernel.Config{})
+	if concurrent {
+		k.SetScheduler(kernel.NewConcurrentScheduler(k))
+	}
+	defer k.Scheduler().Stop()
+	pool := spcm.New(k, spcm.DefaultPolicy())
+
+	segs := make([]*kernel.Segment, opt.Managers)
+	for i := range segs {
+		store := storage.NewStore(&clock, storage.NetworkServer(), frameSize)
+		g, err := manager.NewGeneric(k, manager.Config{
+			Name:         fmt.Sprintf("app-manager-%d", i),
+			Delivery:     kernel.DeliverSeparateProcess,
+			Backing:      manager.NewSwapBacking(store),
+			Source:       pool,
+			RequestBatch: 32,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pool.Register(g, g.ManagerName(), 1e9)
+		seg, err := g.CreateManagedSegment(fmt.Sprintf("app-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		if err := g.EnsureFree(8); err != nil {
+			return nil, err
+		}
+		segs[i] = seg
+	}
+
+	// Setup is not part of the measured run.
+	clock.Reset()
+	faults0 := k.Stats().Faults
+	vstart := clock.Now()
+	start := time.Now()
+
+	var firstErr error
+	if concurrent {
+		var wg sync.WaitGroup
+		errs := make([]error, opt.Managers)
+		for i, seg := range segs {
+			wg.Add(1)
+			go func(i int, seg *kernel.Segment) {
+				defer wg.Done()
+				for p := int64(0); p < int64(opt.FaultsPerManager); p++ {
+					if err := k.Access(seg, p, kernel.Write); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+			}(i, seg)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	} else {
+		for p := int64(0); p < int64(opt.FaultsPerManager) && firstErr == nil; p++ {
+			for _, seg := range segs {
+				if err := k.Access(seg, p, kernel.Write); err != nil {
+					firstErr = err
+					break
+				}
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The run is quiescent again: every driver returned and every delivery
+	// was answered, so the market invariants must hold in either mode.
+	if err := pool.CheckInvariants(); err != nil {
+		return nil, err
+	}
+
+	res := &PlaneResult{
+		Scheduler:   opt.Scheduler,
+		Managers:    opt.Managers,
+		Faults:      k.Stats().Faults - faults0,
+		Wall:        time.Since(start),
+		VirtualBusy: clock.Now() - vstart,
+	}
+	res.Makespan = res.VirtualBusy / time.Duration(opt.Managers)
+	res.WallMS = float64(res.Wall.Microseconds()) / 1000
+	res.VirtualBusyMS = float64(res.VirtualBusy.Microseconds()) / 1000
+	res.MakespanMS = float64(res.Makespan.Microseconds()) / 1000
+	if s := res.Wall.Seconds(); s > 0 {
+		res.WallFaultsPerSec = float64(res.Faults) / s
+	}
+	if s := res.Makespan.Seconds(); s > 0 {
+		res.ModelFaultsPerSec = float64(res.Faults) / s
+	}
+	return res, nil
+}
+
+// PlaneTable runs the delivery-plane scaling matrix (both schedulers, 1 and
+// 4 managers) and renders it as a table for cmd/reproduce -plane. It is not
+// part of the default reproduce output: wall-clock columns vary run to run,
+// so it stays out of the golden file.
+func PlaneTable(faultsPerManager int) (*Report, error) {
+	rep := &Report{Table: "plane"}
+	b := &bytes.Buffer{}
+	header(b, "Delivery-Plane Fault Throughput (not in paper; plane scaling)")
+	fmt.Fprintf(b, "%-12s %9s %10s %14s %16s %16s\n",
+		"Scheduler", "Managers", "Faults", "Makespan(ms)", "Model faults/s", "Wall faults/s")
+	var base float64
+	ok := true
+	for _, sched := range []string{"serial", "concurrent"} {
+		for _, n := range []int{1, 4} {
+			r, err := PlaneThroughput(PlaneOptions{
+				Scheduler:        sched,
+				Managers:         n,
+				FaultsPerManager: faultsPerManager,
+			})
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(b, "%-12s %9d %10d %14.2f %16.0f %16.0f\n",
+				r.Scheduler, r.Managers, r.Faults, r.MakespanMS,
+				r.ModelFaultsPerSec, r.WallFaultsPerSec)
+			rep.Events += r.Faults
+			rep.Measures = append(rep.Measures, Measure{
+				Name:     fmt.Sprintf("plane_%s_%dmgr_model_faults_per_sec", r.Scheduler, r.Managers),
+				Measured: r.ModelFaultsPerSec,
+				Unit:     "faults/s",
+			})
+			if sched == "serial" && n == 1 {
+				base = r.ModelFaultsPerSec
+			}
+			if n == 4 && base > 0 && r.ModelFaultsPerSec < 2*base {
+				ok = false
+			}
+		}
+	}
+	rep.OK = ok
+	rep.Output = b.Bytes()
+	return rep, nil
+}

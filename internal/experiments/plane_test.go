@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The serial scheduler must deliver exactly one missing fault per touched
+// page, and the virtual-time model must show aggregate throughput scaling
+// with the manager count (each manager is a separate process on its own
+// processor in the paper's configuration).
+func TestPlaneThroughputSerialScaling(t *testing.T) {
+	one, err := PlaneThroughput(PlaneOptions{Scheduler: "serial", Managers: 1, FaultsPerManager: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := PlaneThroughput(PlaneOptions{Scheduler: "serial", Managers: 4, FaultsPerManager: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Faults != 128 {
+		t.Errorf("1 manager: got %d faults, want 128", one.Faults)
+	}
+	if four.Faults != 4*128 {
+		t.Errorf("4 managers: got %d faults, want %d", four.Faults, 4*128)
+	}
+	if four.ModelFaultsPerSec < 2*one.ModelFaultsPerSec {
+		t.Errorf("model throughput did not scale: 1 manager %.0f faults/s, 4 managers %.0f faults/s",
+			one.ModelFaultsPerSec, four.ModelFaultsPerSec)
+	}
+}
+
+// The concurrent scheduler must produce the same fault counts with one
+// worker goroutine per manager; the -race runs of the suite check the
+// sharded kernel structures and the SPCM ledger under real contention.
+func TestPlaneThroughputConcurrent(t *testing.T) {
+	for _, managers := range []int{1, 4} {
+		r, err := PlaneThroughput(PlaneOptions{Scheduler: "concurrent", Managers: managers, FaultsPerManager: 128})
+		if err != nil {
+			t.Fatalf("%d managers: %v", managers, err)
+		}
+		if want := int64(managers) * 128; r.Faults != want {
+			t.Errorf("%d managers: got %d faults, want %d", managers, r.Faults, want)
+		}
+	}
+}
+
+// BenchmarkDeliveryPlane is the delivery-plane matrix: both schedulers at 1
+// and 4 managers. Custom metrics report the paper-model aggregate
+// throughput (model_faults/s, which must scale ≥2x from 1 to 4 managers)
+// and the real driving rate (wall_faults/s).
+func BenchmarkDeliveryPlane(b *testing.B) {
+	for _, sched := range []string{"serial", "concurrent"} {
+		for _, managers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/%dmgr", sched, managers), func(b *testing.B) {
+				var faults int64
+				var modelRate, wallRate float64
+				for i := 0; i < b.N; i++ {
+					r, err := PlaneThroughput(PlaneOptions{
+						Scheduler:        sched,
+						Managers:         managers,
+						FaultsPerManager: 512,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					faults += r.Faults
+					modelRate = r.ModelFaultsPerSec
+					wallRate = r.WallFaultsPerSec
+				}
+				b.ReportMetric(modelRate, "model_faults/s")
+				b.ReportMetric(wallRate, "wall_faults/s")
+				b.ReportMetric(float64(faults)/float64(b.N), "faults/op")
+			})
+		}
+	}
+}

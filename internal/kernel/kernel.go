@@ -10,11 +10,22 @@
 // mapping structures, move page frames between segments as told, and
 // deliver fault events to the managers, charging the machine cost model for
 // every step so the experiments can measure path lengths.
+//
+// Fault delivery runs over the message plane in scheduler.go: a fault
+// becomes a message on the owning manager's mailbox, drained either on the
+// faulting goroutine (serial scheduler, the deterministic default) or on a
+// per-manager worker goroutine (concurrent scheduler). To support the
+// latter, the kernel's mutable state is locked at three levels: activity
+// counters are atomic, each segment's page map is guarded by its own mutex,
+// and the segment registry by a kernel-wide RWMutex. The lock order is
+// kernel registry → segment (two segments in ascending ID order) → mapping
+// cache shard; no kernel lock is ever held across a manager call.
 package kernel
 
 import (
-	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"epcm/internal/phys"
 	"epcm/internal/sim"
@@ -56,24 +67,51 @@ type Stats struct {
 	RevokedSegments   int64 // segments reassigned to the default manager
 }
 
+// kernelStats is the live counter set. Counters are atomic so concurrent
+// managers and applications can charge them without a lock; Stats() takes
+// a field-by-field snapshot into the plain Stats struct.
+type kernelStats struct {
+	Accesses          atomic.Int64
+	Faults            atomic.Int64
+	MissingFaults     atomic.Int64
+	ProtFaults        atomic.Int64
+	COWFaults         atomic.Int64
+	ManagerCalls      atomic.Int64
+	MigrateCalls      atomic.Int64
+	MigratedPages     atomic.Int64
+	ModifyCalls       atomic.Int64
+	GetAttrCalls      atomic.Int64
+	DroppedDeliveries atomic.Int64
+	DelayedDeliveries atomic.Int64
+	Revocations       atomic.Int64
+	RevokedSegments   atomic.Int64
+}
+
 // Kernel is the simulated V++ kernel.
 type Kernel struct {
-	mem    *phys.Memory
-	clock  *sim.Clock
-	cost   *sim.CostModel
-	cfg    Config
+	mem   *phys.Memory
+	clock *sim.Clock
+	cost  *sim.CostModel
+	cfg   Config
+	// mu guards the segment registry (segs, nextID). It is ordered before
+	// any Segment.mu and is never held across a manager call.
+	mu     sync.RWMutex
 	segs   map[SegID]*Segment
 	nextID SegID
-	table  *mappingTable
-	tlb    *tlb
+	table  mapper
+	tlb    translator
+	sched  Scheduler
 	// frameOwner records, for every physical frame, the segment that holds
-	// it — the ground truth for the frame-conservation invariant.
+	// it — the ground truth for the frame-conservation invariant. Entries
+	// are written only under the owning segments' locks; the slices
+	// themselves are fixed at boot.
 	frameOwner []SegID
 	framePage  []int64
 	boot       *Segment
-	stats      Stats
+	stats      kernelStats
 	// interceptor, defaultMgr and onRevoke support the fault plane and
-	// manager-failure recovery; see revoke.go. All nil in normal operation.
+	// manager-failure recovery; see revoke.go. All nil in normal operation;
+	// set them at boot, before delivery traffic starts.
 	interceptor DeliveryInterceptor
 	defaultMgr  Manager
 	onRevoke    func(dead Manager, adopted []*Segment)
@@ -82,6 +120,8 @@ type Kernel struct {
 // New boots a kernel over the given memory, clock and cost model. Following
 // §2.1, it creates the well-known segment holding all page frames in
 // physical-address order, restricted to privileged (system) credentials.
+// The delivery-plane scheduler defaults to the deterministic serial one
+// (or the mode selected with SetBootScheduler).
 func New(mem *phys.Memory, clock *sim.Clock, cost *sim.CostModel, cfg Config) *Kernel {
 	if cfg.TLBEntries <= 0 {
 		cfg.TLBEntries = 64
@@ -100,6 +140,11 @@ func New(mem *phys.Memory, clock *sim.Clock, cost *sim.CostModel, cfg Config) *K
 		tlb:        newTLB(cfg.TLBEntries),
 		frameOwner: make([]SegID, mem.NumFrames()),
 		framePage:  make([]int64, mem.NumFrames()),
+	}
+	if bootConcurrent {
+		k.SetScheduler(NewConcurrentScheduler(k))
+	} else {
+		k.SetScheduler(NewSerialScheduler(k))
 	}
 	boot := k.newSegment("physmem", 1)
 	boot.restricted = true
@@ -132,7 +177,22 @@ func (k *Kernel) Cost() *sim.CostModel { return k.cost }
 // hash-table counters are read through the same accessors ResetStats clears,
 // so the two cannot drift.
 func (k *Kernel) Stats() Stats {
-	s := k.stats
+	s := Stats{
+		Accesses:          k.stats.Accesses.Load(),
+		Faults:            k.stats.Faults.Load(),
+		MissingFaults:     k.stats.MissingFaults.Load(),
+		ProtFaults:        k.stats.ProtFaults.Load(),
+		COWFaults:         k.stats.COWFaults.Load(),
+		ManagerCalls:      k.stats.ManagerCalls.Load(),
+		MigrateCalls:      k.stats.MigrateCalls.Load(),
+		MigratedPages:     k.stats.MigratedPages.Load(),
+		ModifyCalls:       k.stats.ModifyCalls.Load(),
+		GetAttrCalls:      k.stats.GetAttrCalls.Load(),
+		DroppedDeliveries: k.stats.DroppedDeliveries.Load(),
+		DelayedDeliveries: k.stats.DelayedDeliveries.Load(),
+		Revocations:       k.stats.Revocations.Load(),
+		RevokedSegments:   k.stats.RevokedSegments.Load(),
+	}
 	s.TLBHits, s.TLBMisses = k.tlb.stats()
 	s.HashHits, s.HashMisses, s.HashSpills, s.HashDrops = k.table.stats()
 	return s
@@ -140,7 +200,20 @@ func (k *Kernel) Stats() Stats {
 
 // ResetStats zeroes the activity counters (not the mapping state).
 func (k *Kernel) ResetStats() {
-	k.stats = Stats{}
+	k.stats.Accesses.Store(0)
+	k.stats.Faults.Store(0)
+	k.stats.MissingFaults.Store(0)
+	k.stats.ProtFaults.Store(0)
+	k.stats.COWFaults.Store(0)
+	k.stats.ManagerCalls.Store(0)
+	k.stats.MigrateCalls.Store(0)
+	k.stats.MigratedPages.Store(0)
+	k.stats.ModifyCalls.Store(0)
+	k.stats.GetAttrCalls.Store(0)
+	k.stats.DroppedDeliveries.Store(0)
+	k.stats.DelayedDeliveries.Store(0)
+	k.stats.Revocations.Store(0)
+	k.stats.RevokedSegments.Store(0)
 	k.tlb.resetStats()
 	k.table.resetStats()
 }
@@ -148,7 +221,31 @@ func (k *Kernel) ResetStats() {
 // BootSegment returns the well-known segment of all page frames.
 func (k *Kernel) BootSegment() *Segment { return k.boot }
 
+// lockPair locks two segments in ascending ID order (or one, if equal),
+// the global deadlock-avoidance order for multi-segment operations.
+func lockPair(a, b *Segment) {
+	switch {
+	case a == b:
+		a.mu.Lock()
+	case a.id < b.id:
+		a.mu.Lock()
+		b.mu.Lock()
+	default:
+		b.mu.Lock()
+		a.mu.Lock()
+	}
+}
+
+func unlockPair(a, b *Segment) {
+	a.mu.Unlock()
+	if a != b {
+		b.mu.Unlock()
+	}
+}
+
 func (k *Kernel) newSegment(name string, framesPerPage int) *Segment {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	s := &Segment{
 		id:       k.nextID,
 		name:     name,
@@ -175,8 +272,15 @@ func (k *Kernel) CreateSegment(name string, framesPerPage int) (*Segment, error)
 
 // Lookup returns the live segment with the given id.
 func (k *Kernel) Lookup(id SegID) (*Segment, error) {
+	k.mu.RLock()
 	s, ok := k.segs[id]
-	if !ok || s.deleted {
+	k.mu.RUnlock()
+	if ok {
+		s.mu.Lock()
+		ok = !s.deleted
+		s.mu.Unlock()
+	}
+	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNoSuchSegment, id)
 	}
 	return s, nil
@@ -185,7 +289,9 @@ func (k *Kernel) Lookup(id SegID) (*Segment, error) {
 // SetSegmentManager designates the manager module for a segment (§2.1).
 func (k *Kernel) SetSegmentManager(s *Segment, m Manager) {
 	k.clock.Advance(k.cost.KernelCall)
+	s.mu.Lock()
 	s.manager = m
+	s.mu.Unlock()
 }
 
 // BindRegion associates pages [start, start+pages) of seg with
@@ -196,6 +302,8 @@ func (k *Kernel) BindRegion(seg *Segment, start, pages int64, target *Segment, t
 	if pages <= 0 || start < 0 || targetStart < 0 {
 		return fmt.Errorf("%w: bind [%d,+%d)", ErrBadRange, start, pages)
 	}
+	lockPair(seg, target)
+	defer unlockPair(seg, target)
 	if seg.deleted || target.deleted {
 		return ErrNoSuchSegment
 	}
@@ -208,21 +316,31 @@ func (k *Kernel) BindRegion(seg *Segment, start, pages int64, target *Segment, t
 // DeleteSegment removes a segment. The segment's manager is notified first
 // so it can reclaim the frames (§2.2: "the manager is also informed when a
 // segment it manages is closed or deleted"); any frames it leaves behind
-// return to the boot segment so no frame is ever orphaned.
+// return to the boot segment so no frame is ever orphaned. The notice is
+// delivered over the plane with no segment lock held — the manager
+// migrates frames out of s while salvaging.
 func (k *Kernel) DeleteSegment(cred Cred, s *Segment) error {
+	s.mu.Lock()
 	if s.restricted && !cred.Privileged {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: delete %s by %q", ErrNotPrivileged, s, cred.Name)
 	}
 	if s.deleted {
+		s.mu.Unlock()
 		return ErrNoSuchSegment
 	}
+	m := s.manager
+	s.mu.Unlock()
 	k.clock.Advance(k.cost.KernelCall)
-	if s.manager != nil {
-		k.stats.ManagerCalls++
-		k.chargeDelivery(s.manager.Delivery())
-		s.manager.SegmentDeleted(s)
+	if m != nil {
+		k.sched.NotifyDeleted(m, s)
 	}
 	// Reclaim whatever the manager left.
+	lockPair(s, k.boot)
+	if s.deleted {
+		unlockPair(s, k.boot)
+		return ErrNoSuchSegment // lost a delete race during the notice
+	}
 	s.pages.forEach(func(_ int64, e *pageEntry) bool {
 		for _, f := range e.frames {
 			k.boot.pages.put(int64(f.PFN()), &pageEntry{frames: []*phys.Frame{f}})
@@ -233,7 +351,10 @@ func (k *Kernel) DeleteSegment(cred Cred, s *Segment) error {
 	})
 	s.pages.clear()
 	s.deleted = true
+	unlockPair(s, k.boot)
+	k.mu.Lock()
 	delete(k.segs, s.id)
+	k.mu.Unlock()
 	k.table.removeSegment(s.id)
 	k.tlb.invalidateSegment(s.id)
 	return nil
@@ -253,8 +374,10 @@ func checkRange(s *Segment, page, n int64) error {
 // all-or-nothing: every source page must be present and every destination
 // slot empty.
 func (k *Kernel) MigratePages(cred Cred, src, dst *Segment, srcPage, dstPage, n int64, set, clear PageFlags) error {
-	k.stats.MigrateCalls++
+	k.stats.MigrateCalls.Add(1)
 	k.clock.Advance(k.cost.KernelCall)
+	lockPair(src, dst)
+	defer unlockPair(src, dst)
 	if err := k.validateMigrate(cred, src, dst, srcPage, dstPage, n); err != nil {
 		return err
 	}
@@ -288,7 +411,8 @@ func (k *Kernel) validateMigrate(cred Cred, src, dst *Segment, srcPage, dstPage,
 	return checkRange(dst, dstPage, n)
 }
 
-// movePage transfers one page entry and charges the per-page cost.
+// movePage transfers one page entry and charges the per-page cost. Both
+// segments' locks are held by the caller.
 func (k *Kernel) movePage(src, dst *Segment, srcPage, dstPage int64, set, clear PageFlags) {
 	e, _ := src.pages.get(srcPage)
 	src.pages.del(srcPage)
@@ -307,7 +431,7 @@ func (k *Kernel) movePage(src, dst *Segment, srcPage, dstPage int64, set, clear 
 	// kernel loads the translation for the faulting address before the
 	// application resumes, so the retried access does not miss again.
 	k.tlb.install(dstKey)
-	k.stats.MigratedPages++
+	k.stats.MigratedPages.Add(1)
 	k.clock.Advance(k.cost.MigratePage + k.cost.MappingUpdate)
 }
 
@@ -317,8 +441,10 @@ func (k *Kernel) movePage(src, dst *Segment, srcPage, dstPage int64, set, clear 
 // contiguous — this is how the SPCM satisfies large-page allocations on
 // machines with multiple page sizes.
 func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage, n int64, set, clear PageFlags) error {
-	k.stats.MigrateCalls++
+	k.stats.MigrateCalls.Add(1)
 	k.clock.Advance(k.cost.KernelCall)
+	lockPair(src, dst)
+	defer unlockPair(src, dst)
 	if err := k.validateMigrate(cred, src, dst, srcPage, dstPage, n); err != nil {
 		return err
 	}
@@ -358,7 +484,7 @@ func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage
 			k.table.remove(key)
 			k.tlb.invalidate(key)
 			k.clock.Advance(k.cost.MigratePage + k.cost.MappingUpdate)
-			k.stats.MigratedPages++
+			k.stats.MigratedPages.Add(1)
 		}
 		ne := &pageEntry{frames: frames, flags: flags.Apply(set, clear)}
 		dst.pages.put(dstPage+i, ne)
@@ -374,8 +500,10 @@ func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage
 // MigrateSplit is the inverse of MigrateCoalesced: n large pages of src
 // (frames-per-page F) become n×F base pages of dst (frames-per-page 1).
 func (k *Kernel) MigrateSplit(cred Cred, src, dst *Segment, srcPage, dstPage, n int64, set, clear PageFlags) error {
-	k.stats.MigrateCalls++
+	k.stats.MigrateCalls.Add(1)
 	k.clock.Advance(k.cost.KernelCall)
+	lockPair(src, dst)
+	defer unlockPair(src, dst)
 	if err := k.validateMigrate(cred, src, dst, srcPage, dstPage, n); err != nil {
 		return err
 	}
@@ -407,7 +535,7 @@ func (k *Kernel) MigrateSplit(cred Cred, src, dst *Segment, srcPage, dstPage, n 
 			k.framePage[f.PFN()] = dp
 			k.table.insert(mapKey{dst.id, dp}, ne)
 			k.clock.Advance(k.cost.MigratePage + k.cost.MappingUpdate)
-			k.stats.MigratedPages++
+			k.stats.MigratedPages.Add(1)
 		}
 	}
 	return nil
@@ -416,8 +544,10 @@ func (k *Kernel) MigrateSplit(cred Cred, src, dst *Segment, srcPage, dstPage, n 
 // ModifyPageFlags modifies the page flags of [page, page+n) without moving
 // the frames (§2.1). Pages without frames in the range are an error.
 func (k *Kernel) ModifyPageFlags(cred Cred, s *Segment, page, n int64, set, clear PageFlags) error {
-	k.stats.ModifyCalls++
+	k.stats.ModifyCalls.Add(1)
 	k.clock.Advance(k.cost.KernelCall + k.cost.ModifyFlags)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.deleted {
 		return ErrNoSuchSegment
 	}
@@ -459,8 +589,10 @@ type PageAttribute struct {
 // [page, page+n) (§2.1). Missing pages are reported with Present false
 // rather than as errors, so managers can scan sparse segments.
 func (k *Kernel) GetPageAttributes(s *Segment, page, n int64) ([]PageAttribute, error) {
-	k.stats.GetAttrCalls++
+	k.stats.GetAttrCalls.Add(1)
 	k.clock.Advance(k.cost.KernelCall)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.deleted {
 		return nil, ErrNoSuchSegment
 	}
@@ -489,8 +621,10 @@ func (k *Kernel) GetPageAttributes(s *Segment, page, n int64) ([]PageAttribute, 
 // identically but returns the attribute by value, so reclaim loops that poll
 // one page per step pay no slice allocation.
 func (k *Kernel) GetPageAttribute(s *Segment, page int64) (PageAttribute, error) {
-	k.stats.GetAttrCalls++
+	k.stats.GetAttrCalls.Add(1)
 	k.clock.Advance(k.cost.KernelCall)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.deleted {
 		return PageAttribute{}, ErrNoSuchSegment
 	}
@@ -539,9 +673,16 @@ func (k *Kernel) chargeReturn(d DeliveryMode) {
 // the TLB and mapping hash table, delivers faults to segment managers and
 // retries, charging virtual time for each step. On success the page's
 // Referenced (and, for writes, Dirty) flags are set.
+//
+// No segment lock is held while a fault is delivered: the manager needs
+// the locks to migrate frames in. The retry loop absorbs anything that
+// changed in between.
 func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
-	k.stats.Accesses++
-	if s.deleted {
+	k.stats.Accesses.Add(1)
+	s.mu.Lock()
+	deleted := s.deleted
+	s.mu.Unlock()
+	if deleted {
 		return ErrNoSuchSegment
 	}
 	if page < 0 {
@@ -552,12 +693,16 @@ func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
 		if err != nil {
 			return err
 		}
-		if r.seg.deleted {
+		rs := r.seg
+		rs.mu.Lock()
+		if rs.deleted {
+			rs.mu.Unlock()
 			return ErrNoSuchSegment
 		}
-		e, present := r.seg.pages.get(r.page)
+		e, present := rs.pages.get(r.page)
 		if !present {
-			if err := k.deliverFault(Fault{Seg: r.seg, Page: r.page, Access: access, Kind: FaultMissing}); err != nil {
+			rs.mu.Unlock()
+			if err := k.deliverFault(Fault{Seg: rs, Page: r.page, Access: access, Kind: FaultMissing}); err != nil {
 				return err
 			}
 			continue
@@ -566,13 +711,20 @@ func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
 			// The reference crossed a copy-on-write binding: a private page
 			// must materialize in the front segment. The manager allocates
 			// it; the kernel performs the copy (§2.1).
+			rs.mu.Unlock()
 			if err := k.deliverFault(Fault{Seg: r.cowSeg, Page: r.cowPage, Access: access, Kind: FaultCopyOnWrite}); err != nil {
 				return err
 			}
-			ne, ok := r.cowSeg.pages.get(r.cowPage)
+			cs := r.cowSeg
+			cs.mu.Lock()
+			ne, ok := cs.pages.get(r.cowPage)
 			if !ok {
+				cs.mu.Unlock()
 				continue // manager did not materialize the page; re-fault
 			}
+			// e is the source entry captured before delivery; its frames
+			// slice is immutable once created, so reading it here without
+			// the source segment's lock is safe.
 			for i, f := range ne.frames {
 				if i < len(e.frames) {
 					k.clock.Advance(k.cost.CopyPage)
@@ -580,6 +732,7 @@ func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
 				}
 			}
 			ne.flags |= FlagDirty
+			cs.mu.Unlock()
 			continue // retry: resolution now finds the private page
 		}
 		need := FlagRead
@@ -587,13 +740,14 @@ func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
 			need = FlagWrite
 		}
 		if !e.flags.Has(need) {
-			if err := k.deliverFault(Fault{Seg: r.seg, Page: r.page, Access: access, Kind: FaultProtection}); err != nil {
+			rs.mu.Unlock()
+			if err := k.deliverFault(Fault{Seg: rs, Page: r.page, Access: access, Kind: FaultProtection}); err != nil {
 				return err
 			}
 			continue
 		}
 		// Translation lookup: TLB, then hash table, then structure walk.
-		key := mapKey{r.seg.id, r.page}
+		key := mapKey{rs.id, r.page}
 		if !k.tlb.lookup(key) {
 			k.clock.Advance(k.cost.TLBFill)
 			if _, ok := k.table.lookup(key); !ok {
@@ -608,6 +762,7 @@ func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
 		if access == Write {
 			e.flags |= FlagDirty
 		}
+		rs.mu.Unlock()
 		return nil
 	}
 	return pageError(ErrFaultLoop, s, page)
@@ -618,6 +773,8 @@ func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
 // interface uses when it touches cached-file pages on behalf of a process;
 // unlike ModifyPageFlags it is not a system call.
 func (k *Kernel) MarkAccessed(s *Segment, page int64, write bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	e, ok := s.pages.get(page)
 	if !ok {
 		return
@@ -635,7 +792,10 @@ func (k *Kernel) MarkAccessed(s *Segment, page int64, write bool) {
 // associated page frame causes a page fault event to be communicated to the
 // manager of the segment, as for a regular page fault").
 func (k *Kernel) FaultIn(s *Segment, page int64, access AccessType) error {
-	if s.deleted {
+	s.mu.Lock()
+	deleted := s.deleted
+	s.mu.Unlock()
+	if deleted {
 		return ErrNoSuchSegment
 	}
 	for attempt := 0; attempt <= k.cfg.MaxFaultRetries; attempt++ {
@@ -643,7 +803,10 @@ func (k *Kernel) FaultIn(s *Segment, page int64, access AccessType) error {
 		if err != nil {
 			return err
 		}
-		if r.seg.pages.has(r.page) {
+		r.seg.mu.Lock()
+		present := r.seg.pages.has(r.page)
+		r.seg.mu.Unlock()
+		if present {
 			return nil
 		}
 		if err := k.deliverFault(Fault{Seg: r.seg, Page: r.page, Access: access, Kind: FaultMissing}); err != nil {
@@ -653,68 +816,24 @@ func (k *Kernel) FaultIn(s *Segment, page int64, access AccessType) error {
 	return pageError(ErrFaultLoop, s, page)
 }
 
-// deliverFault transfers control to the owning segment's manager and back,
-// charging the delivery path.
-func (k *Kernel) deliverFault(f Fault) error {
-	m := f.Seg.manager
-	if m == nil {
-		return pageError(ErrNoManager, f.Seg, f.Page)
-	}
-	k.stats.Faults++
-	k.stats.ManagerCalls++
-	switch f.Kind {
-	case FaultMissing:
-		k.stats.MissingFaults++
-	case FaultProtection:
-		k.stats.ProtFaults++
-	case FaultCopyOnWrite:
-		k.stats.COWFaults++
-	}
-	k.clock.Advance(k.cost.Trap)
-	if k.interceptor != nil {
-		switch r := k.interceptor(f, m); {
-		case r.Crash:
-			// The manager process died before fielding the fault. Revoke it;
-			// the Access retry loop re-delivers the in-flight fault to the
-			// default manager.
-			if _, err := k.Revoke(m); err != nil {
-				return pageError(fmt.Errorf("%w: %q: %w", ErrManagerCrashed, m.ManagerName(), err), f.Seg, f.Page)
-			}
-			return nil
-		case r.Drop:
-			// The delivery was lost; the faulting process just re-faults.
-			k.stats.DroppedDeliveries++
-			return nil
-		case r.Delay > 0:
-			k.stats.DelayedDeliveries++
-			k.clock.Advance(r.Delay)
-		}
-	}
-	k.chargeDelivery(m.Delivery())
-	if err := m.HandleFault(f); err != nil {
-		if errors.Is(err, ErrManagerCrashed) {
-			// The manager died mid-handling. Revoke and let the retry loop
-			// re-deliver; only if no fallback exists does the crash surface.
-			if _, rerr := k.Revoke(m); rerr == nil {
-				return nil
-			}
-		}
-		return fmt.Errorf("%w: %q on %v: %w", ErrManagerFailed, m.ManagerName(), f, err)
-	}
-	k.chargeReturn(m.Delivery())
-	return nil
-}
-
 // CheckFrameConservation verifies the fundamental invariant of external
 // page-cache management: every physical frame is held by exactly one
 // segment, and the owner's page map agrees. It returns nil when consistent.
-// Tests and the property suite call this after every mutation sequence.
+// Tests and the property suite call this after every mutation sequence; the
+// system must be quiescent (no in-flight faults or migrations), which is
+// why it takes no per-segment locks.
 func (k *Kernel) CheckFrameConservation() error {
+	k.mu.RLock()
+	segs := make(map[SegID]*Segment, len(k.segs))
+	for id, s := range k.segs {
+		segs[id] = s
+	}
+	k.mu.RUnlock()
 	// Every frame's recorded owner must exist and hold the frame at the
 	// recorded page.
 	for pfn := range k.frameOwner {
 		owner := k.frameOwner[pfn]
-		s, ok := k.segs[owner]
+		s, ok := segs[owner]
 		if !ok {
 			return fmt.Errorf("frame %d owned by missing segment %d", pfn, owner)
 		}
@@ -734,7 +853,7 @@ func (k *Kernel) CheckFrameConservation() error {
 	}
 	// Conversely, every page entry's frames must point back.
 	seen := make(map[phys.PFN]SegID)
-	for _, s := range k.segs {
+	for _, s := range segs {
 		var werr error
 		s.pages.forEach(func(page int64, e *pageEntry) bool {
 			if len(e.frames) != s.fpp {

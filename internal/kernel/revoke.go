@@ -56,22 +56,33 @@ func (k *Kernel) OnRevoke(fn func(dead Manager, adopted []*Segment)) { k.onRevok
 // the default manager, returning the adopted segments in ascending ID
 // order. It fails with ErrNoFallback when no distinct default manager
 // exists — the kernel cannot contain a crash of the fallback itself.
+//
+// After reassigning, the dead manager's queued plane messages are
+// discarded (Scheduler.Revoke): each pending delivery is answered as lost,
+// so the faulting processes retry and re-resolve to the adopting manager.
+// The onRevoke callback runs with no kernel lock held — it reaches into
+// the SPCM and the default manager.
 func (k *Kernel) Revoke(dead Manager) ([]*Segment, error) {
 	if k.defaultMgr == nil || dead == Manager(k.defaultMgr) {
 		return nil, fmt.Errorf("%w (revoking %q)", ErrNoFallback, dead.ManagerName())
 	}
-	k.stats.Revocations++
+	k.stats.Revocations.Add(1)
 	var adopted []*Segment
+	k.mu.RLock()
 	for _, s := range k.segs {
+		s.mu.Lock()
 		if s.manager == dead && !s.deleted {
 			// The fallback path of SetSegmentManager, without charging the
 			// dead manager's process for a call it cannot make.
 			s.manager = k.defaultMgr
 			adopted = append(adopted, s)
 		}
+		s.mu.Unlock()
 	}
+	k.mu.RUnlock()
 	sort.Slice(adopted, func(i, j int) bool { return adopted[i].id < adopted[j].id })
-	k.stats.RevokedSegments += int64(len(adopted))
+	k.stats.RevokedSegments.Add(int64(len(adopted)))
+	k.sched.Revoke(dead)
 	if k.onRevoke != nil {
 		k.onRevoke(dead, adopted)
 	}

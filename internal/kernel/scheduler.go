@@ -1,0 +1,435 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"epcm/internal/plane"
+)
+
+// This file is the fault-delivery plane. Faults, deletion notices and
+// control requests are no longer direct Go calls from the kernel into a
+// manager: they are typed messages on per-manager mailboxes, drained by a
+// Scheduler. Two schedulers exist:
+//
+//   - the serial scheduler (the default) drains mailboxes on the caller's
+//     goroutine in virtual-time order, reproducing the old synchronous call
+//     graph exactly — same charge sequence, same stats, same golden output;
+//   - the concurrent scheduler gives every manager its own worker goroutine
+//     and turns a delivery into an enqueue + blocking wait for the reply,
+//     which lets N applications fault against N managers in parallel.
+//
+// Injection (DeliveryInterceptor), cost accounting (chargeDelivery and
+// chargeReturn) and crash recovery (Revoke) all live in processFault /
+// processDelete below, so both schedulers get identical semantics per
+// message; the scheduler only decides where and when messages run.
+
+// Scheduler routes delivery-plane messages to managers. Implementations
+// must call Kernel.processFault / Kernel.processDelete for each message so
+// costing, injection and revocation behave identically in every mode.
+type Scheduler interface {
+	// Name identifies the scheduler ("serial" or "concurrent").
+	Name() string
+	// Concurrent reports whether managers run on their own goroutines.
+	// When true the kernel swaps its mapping caches for sharded, locked
+	// variants at install time.
+	Concurrent() bool
+	// DeliverFault routes a fault to manager m and blocks until it has been
+	// handled (or dropped / crashed by injection), returning the result the
+	// faulting process observes.
+	DeliverFault(m Manager, f Fault) error
+	// NotifyDeleted routes a segment-deletion notice to m and blocks until
+	// the manager has salvaged its frames.
+	NotifyDeleted(m Manager, s *Segment)
+	// Exec runs fn in m's delivery context — on m's worker goroutine under
+	// the concurrent scheduler — and blocks until it returns. Recovery uses
+	// it to run segment adoption where the adopting manager's other work
+	// runs, so the manager needs no internal locking.
+	Exec(m Manager, fn func())
+	// Revoke discards m's queued messages, answering each pending delivery
+	// with nil so the faulting processes retry (and re-resolve to the
+	// manager that adopted their segments). Under the concurrent scheduler
+	// it also retires m's worker goroutine.
+	Revoke(m Manager)
+	// Stop shuts the scheduler down, releasing any worker goroutines.
+	// Further deliveries report ErrNoManager-free nil results; Stop is for
+	// end-of-run teardown, not a pause.
+	Stop()
+}
+
+// deliveryKind discriminates plane messages.
+type deliveryKind int
+
+const (
+	msgFault deliveryKind = iota
+	msgDelete
+	msgExec
+)
+
+// delivery is one message on the plane. Exactly one of the payload fields
+// is meaningful, per kind. The serial scheduler reports completion through
+// res; the concurrent scheduler through reply.
+type delivery struct {
+	kind  deliveryKind
+	mgr   Manager
+	fault Fault    // msgFault
+	seg   *Segment // msgDelete
+	fn    func()   // msgExec
+	res   *deliveryResult
+	reply chan error
+}
+
+type deliveryResult struct {
+	done bool
+	err  error
+}
+
+// process runs one plane message to completion. Both schedulers funnel
+// every message through here.
+func (k *Kernel) process(d delivery) error {
+	switch d.kind {
+	case msgFault:
+		return k.processFault(d.mgr, d.fault)
+	case msgDelete:
+		k.processDelete(d.mgr, d.seg)
+		return nil
+	default:
+		d.fn()
+		return nil
+	}
+}
+
+// processFault is the delivery path a fault message takes once the
+// scheduler hands it to its manager: statistics, the trap cost, the
+// injection interceptor, the delivery cost for the manager's mode, the
+// handler itself, crash containment, and the return cost. The sequence is
+// exactly the pre-plane synchronous path, which is what keeps the serial
+// scheduler's output byte-identical.
+func (k *Kernel) processFault(m Manager, f Fault) error {
+	k.stats.Faults.Add(1)
+	k.stats.ManagerCalls.Add(1)
+	switch f.Kind {
+	case FaultMissing:
+		k.stats.MissingFaults.Add(1)
+	case FaultProtection:
+		k.stats.ProtFaults.Add(1)
+	case FaultCopyOnWrite:
+		k.stats.COWFaults.Add(1)
+	}
+	k.clock.Advance(k.cost.Trap)
+	if k.interceptor != nil {
+		switch r := k.interceptor(f, m); {
+		case r.Crash:
+			// The manager process died before fielding the fault. Revoke it;
+			// the Access retry loop re-delivers the in-flight fault to the
+			// default manager.
+			if _, err := k.Revoke(m); err != nil {
+				return pageError(fmt.Errorf("%w: %q: %w", ErrManagerCrashed, m.ManagerName(), err), f.Seg, f.Page)
+			}
+			return nil
+		case r.Drop:
+			// The delivery was lost; the faulting process just re-faults.
+			k.stats.DroppedDeliveries.Add(1)
+			return nil
+		case r.Delay > 0:
+			k.stats.DelayedDeliveries.Add(1)
+			k.clock.Advance(r.Delay)
+		}
+	}
+	k.chargeDelivery(m.Delivery())
+	if err := m.HandleFault(f); err != nil {
+		if errors.Is(err, ErrManagerCrashed) {
+			// The manager died mid-handling. Revoke and let the retry loop
+			// re-deliver; only if no fallback exists does the crash surface.
+			if _, rerr := k.Revoke(m); rerr == nil {
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: %q on %v: %w", ErrManagerFailed, m.ManagerName(), f, err)
+	}
+	k.chargeReturn(m.Delivery())
+	return nil
+}
+
+// processDelete is the deletion-notice path: one manager call, the delivery
+// cost, and the manager's salvage pass.
+func (k *Kernel) processDelete(m Manager, s *Segment) {
+	k.stats.ManagerCalls.Add(1)
+	k.chargeDelivery(m.Delivery())
+	m.SegmentDeleted(s)
+}
+
+// ---------------------------------------------------------------------------
+// Serial scheduler
+
+// serialScheduler drains per-manager mailboxes on the calling goroutine in
+// (virtual time, sequence) order. With one application driving the system —
+// the deterministic experiment configuration — every enqueue is immediately
+// the oldest queued message, so deliveries run in exactly the pre-plane
+// synchronous order. It is not safe for concurrent callers; that is the
+// concurrent scheduler's job.
+type serialScheduler struct {
+	k     *Kernel
+	group plane.Group[delivery]
+	boxes map[Manager]*plane.Mailbox[delivery]
+}
+
+// NewSerialScheduler returns the deterministic, single-goroutine scheduler.
+// It is the default installed by New.
+func NewSerialScheduler(k *Kernel) Scheduler {
+	return &serialScheduler{k: k, boxes: make(map[Manager]*plane.Mailbox[delivery])}
+}
+
+func (s *serialScheduler) Name() string     { return "serial" }
+func (s *serialScheduler) Concurrent() bool { return false }
+
+func (s *serialScheduler) box(m Manager) *plane.Mailbox[delivery] {
+	b, ok := s.boxes[m]
+	if !ok {
+		b = s.group.NewMailbox()
+		s.boxes[m] = b
+	}
+	return b
+}
+
+// post enqueues a message and drains the group until that message has been
+// processed. Messages a nested delivery enqueues (a deletion notice fired
+// while a fault is being handled, say) drain as part of the same loop.
+func (s *serialScheduler) post(m Manager, d delivery) error {
+	res := &deliveryResult{}
+	d.mgr = m
+	d.res = res
+	s.group.Enqueue(s.box(m), s.k.clock.Now(), d)
+	for !res.done {
+		env, ok := s.group.PopOldest()
+		if !ok {
+			// Our message left the queue without running: the manager was
+			// revoked with the message still queued. Treat as a lost
+			// delivery; the faulting process retries.
+			break
+		}
+		err := s.k.process(env.Msg)
+		if env.Msg.res != nil {
+			env.Msg.res.done = true
+			env.Msg.res.err = err
+		}
+	}
+	return res.err
+}
+
+func (s *serialScheduler) DeliverFault(m Manager, f Fault) error {
+	return s.post(m, delivery{kind: msgFault, fault: f})
+}
+
+func (s *serialScheduler) NotifyDeleted(m Manager, seg *Segment) {
+	s.post(m, delivery{kind: msgDelete, seg: seg})
+}
+
+func (s *serialScheduler) Exec(m Manager, fn func()) {
+	s.post(m, delivery{kind: msgExec, fn: fn})
+}
+
+func (s *serialScheduler) Revoke(m Manager) {
+	b, ok := s.boxes[m]
+	if !ok {
+		return
+	}
+	delete(s.boxes, m)
+	s.group.Remove(b)
+	for _, env := range b.Drain() {
+		if env.Msg.res != nil {
+			env.Msg.res.done = true // answered nil: sender re-faults
+		}
+	}
+}
+
+func (s *serialScheduler) Stop() {}
+
+// ---------------------------------------------------------------------------
+// Concurrent scheduler
+
+// concurrentScheduler runs every manager on its own worker goroutine fed by
+// a blocking queue. A delivery becomes enqueue + wait-for-reply, so faults
+// against different managers execute in parallel while each single manager
+// still sees its messages strictly in order — the paper's separate manager
+// processes, realized as goroutines.
+type concurrentScheduler struct {
+	k       *Kernel
+	mu      sync.Mutex
+	workers map[Manager]*plane.Queue[delivery]
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+// NewConcurrentScheduler returns the sharded concurrent scheduler. Install
+// it with Kernel.SetScheduler (which also swaps the mapping caches for
+// their sharded, locked variants), and Stop it when the run ends.
+func NewConcurrentScheduler(k *Kernel) Scheduler {
+	return &concurrentScheduler{k: k, workers: make(map[Manager]*plane.Queue[delivery])}
+}
+
+func (s *concurrentScheduler) Name() string     { return "concurrent" }
+func (s *concurrentScheduler) Concurrent() bool { return true }
+
+// worker returns m's queue, creating the queue and its worker goroutine on
+// first use. Returns nil after Stop.
+func (s *concurrentScheduler) worker(m Manager) *plane.Queue[delivery] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return nil
+	}
+	q, ok := s.workers[m]
+	if !ok {
+		q = plane.NewQueue[delivery]()
+		s.workers[m] = q
+		s.wg.Add(1)
+		go s.run(q)
+	}
+	return q
+}
+
+// run is one manager's worker loop: take a message, process it, reply.
+// It exits when the queue is closed and drained (revocation or Stop).
+func (s *concurrentScheduler) run(q *plane.Queue[delivery]) {
+	defer s.wg.Done()
+	for {
+		env, ok := q.Take()
+		if !ok {
+			return
+		}
+		err := s.k.process(env.Msg)
+		if env.Msg.reply != nil {
+			env.Msg.reply <- err
+		}
+	}
+}
+
+// post enqueues a message for m and blocks for the reply. A refused
+// enqueue means m was revoked (or the scheduler stopped) between the
+// caller resolving the manager and the message landing; that is exactly a
+// lost delivery, so the caller's retry loop re-resolves and re-routes.
+func (s *concurrentScheduler) post(m Manager, d delivery) error {
+	q := s.worker(m)
+	if q == nil {
+		return nil
+	}
+	d.mgr = m
+	d.reply = make(chan error, 1)
+	if !q.Put(s.k.clock.Now(), d) {
+		return nil
+	}
+	return <-d.reply
+}
+
+func (s *concurrentScheduler) DeliverFault(m Manager, f Fault) error {
+	return s.post(m, delivery{kind: msgFault, fault: f})
+}
+
+func (s *concurrentScheduler) NotifyDeleted(m Manager, seg *Segment) {
+	s.post(m, delivery{kind: msgDelete, seg: seg})
+}
+
+func (s *concurrentScheduler) Exec(m Manager, fn func()) {
+	s.post(m, delivery{kind: msgExec, fn: fn})
+}
+
+// Revoke closes m's queue and answers everything still queued with nil.
+// The dead manager's worker finishes the message it is processing (crash
+// recovery runs *on* that worker) and then exits; it is never joined here,
+// so a manager may revoke itself.
+func (s *concurrentScheduler) Revoke(m Manager) {
+	s.mu.Lock()
+	q := s.workers[m]
+	delete(s.workers, m)
+	s.mu.Unlock()
+	if q == nil {
+		return
+	}
+	for _, env := range q.Close() {
+		if env.Msg.reply != nil {
+			env.Msg.reply <- nil
+		}
+	}
+}
+
+// Stop closes every worker queue, answers queued messages with nil and
+// waits for the workers to exit. Call it from outside any worker (for
+// example System.Shutdown or a test's cleanup).
+func (s *concurrentScheduler) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	qs := make([]*plane.Queue[delivery], 0, len(s.workers))
+	for _, q := range s.workers {
+		qs = append(qs, q)
+	}
+	s.workers = make(map[Manager]*plane.Queue[delivery])
+	s.mu.Unlock()
+	for _, q := range qs {
+		for _, env := range q.Close() {
+			if env.Msg.reply != nil {
+				env.Msg.reply <- nil
+			}
+		}
+	}
+	s.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Kernel integration
+
+// Scheduler returns the installed delivery-plane scheduler.
+func (k *Kernel) Scheduler() Scheduler { return k.sched }
+
+// SetScheduler installs a scheduler, stopping any previous one. Installing
+// a concurrent scheduler also swaps the mapping hash table and TLB for
+// sharded, per-shard-locked variants; both are pure caches over the
+// authoritative segment page maps, so starting them cold is correct (it
+// only costs some extra virtual refill time).
+func (k *Kernel) SetScheduler(s Scheduler) {
+	if k.sched != nil {
+		k.sched.Stop()
+	}
+	k.sched = s
+	if s.Concurrent() {
+		k.table = newShardedTable()
+		k.tlb = newStripedTLB(k.cfg.TLBEntries)
+	}
+}
+
+// bootConcurrent selects the scheduler New installs, so whole-program runs
+// (cmd/reproduce -sched=concurrent) can flip every kernel they build
+// without threading configuration through each experiment. Set it from the
+// main goroutine before building kernels.
+var bootConcurrent bool
+
+// SetBootScheduler selects the scheduler mode ("serial" or "concurrent")
+// that New installs in subsequently built kernels.
+func SetBootScheduler(mode string) error {
+	switch mode {
+	case "", "serial":
+		bootConcurrent = false
+	case "concurrent":
+		bootConcurrent = true
+	default:
+		return fmt.Errorf("kernel: unknown scheduler %q (want serial or concurrent)", mode)
+	}
+	return nil
+}
+
+// deliverFault resolves the faulted segment's manager and hands the fault
+// to the scheduler.
+func (k *Kernel) deliverFault(f Fault) error {
+	f.Seg.mu.Lock()
+	m := f.Seg.manager
+	f.Seg.mu.Unlock()
+	if m == nil {
+		return pageError(ErrNoManager, f.Seg, f.Page)
+	}
+	return k.sched.DeliverFault(m, f)
+}

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"epcm/internal/phys"
 )
@@ -43,11 +44,16 @@ func (b *binding) covers(page int64) bool {
 // Segment is a variable-size address range of zero or more pages (§2.1).
 // Segments are used for cached and mapped files, portions of program address
 // spaces, and program address spaces themselves.
+//
+// mu guards the mutable state (pages, bindings, manager, deleted); id,
+// name, pageSize, fpp and restricted are immutable after creation. When two
+// segments must be locked together the kernel's lockPair orders them by ID.
 type Segment struct {
 	id       SegID
 	name     string
 	pageSize int // bytes; framesPerPage × machine frame size
 	fpp      int // frames per page
+	mu       sync.Mutex
 	manager  Manager
 	pages    pageStore
 	bindings []*binding // sorted by start
@@ -71,34 +77,55 @@ func (s *Segment) PageSize() int { return s.pageSize }
 func (s *Segment) FramesPerPage() int { return s.fpp }
 
 // Manager returns the segment's manager, or nil.
-func (s *Segment) Manager() Manager { return s.manager }
+func (s *Segment) Manager() Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.manager
+}
 
 // Restricted reports whether the segment requires privileged credentials.
 func (s *Segment) Restricted() bool { return s.restricted }
 
 // PageCount returns the number of pages currently holding frames.
-func (s *Segment) PageCount() int { return s.pages.len() }
+func (s *Segment) PageCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pages.len()
+}
 
 // Pages returns the page numbers currently holding frames, sorted.
 // It allocates; intended for managers' sweep algorithms and tests. Callers
 // that only scan should prefer ForEachPage, which does not allocate.
-func (s *Segment) Pages() []int64 { return s.pages.pages() }
+func (s *Segment) Pages() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pages.pages()
+}
 
 // ForEachPage calls fn for every page currently holding a frame, in
 // ascending page order, stopping early if fn returns false. It does not
 // allocate; managers' sweep and grant algorithms use it on large segments.
 // fn must not migrate pages of s other than the one it was called with.
+//
+// ForEachPage does NOT take the segment lock: callbacks routinely call
+// locking accessors (FrameAt) or kernel operations on s, and the callers
+// are the segment's own manager (or an adopter with the manager dead), so
+// no one else is mutating the page map during the sweep.
 func (s *Segment) ForEachPage(fn func(page int64) bool) {
 	s.pages.forEach(func(page int64, _ *pageEntry) bool { return fn(page) })
 }
 
 // HasPage reports whether the segment holds a frame at page.
 func (s *Segment) HasPage(page int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.pages.has(page)
 }
 
 // Flags returns the page's flags; ok is false if the page has no frame.
 func (s *Segment) Flags(page int64) (PageFlags, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	e, ok := s.pages.get(page)
 	if !ok {
 		return 0, false
@@ -144,16 +171,26 @@ type resolved struct {
 //
 // A present page in a binding segment shadows its bindings, which is what
 // makes a materialized COW page take precedence over the source.
+//
+// Locks are taken hop by hop — one segment at a time, never two — so
+// resolution cannot deadlock against pair-ordered migrations. The caller
+// revalidates the final hop under its lock before acting on it.
 func resolve(s *Segment, page int64) (resolved, error) {
 	r := resolved{seg: s, page: page}
 	for depth := 0; ; depth++ {
 		if depth > 16 {
 			return r, fmt.Errorf("kernel: binding chain deeper than 16 at segment %q page %d", s.name, page)
 		}
-		if r.seg.pages.has(r.page) {
+		r.seg.mu.Lock()
+		present := r.seg.pages.has(r.page)
+		var b *binding
+		if !present {
+			b = r.seg.findBinding(r.page)
+		}
+		r.seg.mu.Unlock()
+		if present {
 			return r, nil
 		}
-		b := r.seg.findBinding(r.page)
 		if b == nil {
 			return r, nil // missing page in r.seg: fault target is r.seg
 		}
@@ -171,6 +208,7 @@ func resolve(s *Segment, page int64) (resolved, error) {
 }
 
 // addBinding inserts a binding keeping the slice sorted; rejects overlap.
+// The caller (BindRegion) holds s.mu.
 func (s *Segment) addBinding(nb *binding) error {
 	for _, b := range s.bindings {
 		if nb.start < b.start+b.pages && b.start < nb.start+nb.pages {
@@ -187,6 +225,8 @@ func (s *Segment) addBinding(nb *binding) error {
 // use it to fill page data in their free-page segments (which they have
 // mapped into their own address spaces).
 func (s *Segment) FrameAt(page int64) *phys.Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	e, ok := s.pages.get(page)
 	if !ok {
 		return nil
@@ -197,6 +237,8 @@ func (s *Segment) FrameAt(page int64) *phys.Frame {
 // FramesAt returns all frames backing page (large pages span several), or
 // nil if the page is not present.
 func (s *Segment) FramesAt(page int64) []*phys.Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	e, ok := s.pages.get(page)
 	if !ok {
 		return nil
@@ -204,6 +246,8 @@ func (s *Segment) FramesAt(page int64) []*phys.Frame {
 	return e.frames
 }
 
+// String formats the segment for diagnostics. It deliberately takes no
+// lock: error paths format segments while holding their locks.
 func (s *Segment) String() string {
 	return fmt.Sprintf("segment %q (id=%d, %d pages of %d bytes)", s.name, s.id, s.pages.len(), s.pageSize)
 }

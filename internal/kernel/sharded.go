@@ -1,0 +1,201 @@
+package kernel
+
+import "sync"
+
+// The concurrent scheduler runs managers on their own goroutines, so the
+// global mapping hash table and the TLB — shared by every translation
+// lookup and every migrate — become contended structures. This file
+// provides the sharded, per-shard-locked variants SetScheduler swaps in
+// for concurrent mode. The serial scheduler keeps the unlocked originals:
+// they are exactly the paper's structures and their hit/spill/drop
+// counters feed the golden output, which must not change.
+//
+// Both structures are pure caches over the authoritative segment page
+// maps (a miss only forces the slower walk), so sharding changes costs,
+// never correctness.
+
+// mapper is the mapping-hash-table surface the kernel uses; implemented by
+// the paper's single mappingTable (serial) and shardedTable (concurrent).
+type mapper interface {
+	lookup(k mapKey) (*pageEntry, bool)
+	insert(k mapKey, e *pageEntry)
+	remove(k mapKey)
+	removeSegment(seg SegID)
+	stats() (hits, misses, spills, drops int64)
+	resetStats()
+}
+
+// translator is the TLB surface; implemented by the R3000 tlb (serial) and
+// stripedTLB (concurrent).
+type translator interface {
+	lookup(k mapKey) bool
+	install(k mapKey)
+	invalidate(k mapKey)
+	invalidateSegment(seg SegID)
+	stats() (hits, misses int64)
+	resetStats()
+}
+
+const tableShards = 16
+
+// shardedTable splits the 64K-entry global hash table into 16 direct-mapped
+// shards of 4K slots (with 2 overflow entries each — 32 in aggregate,
+// matching the paper's overflow area), each behind its own mutex. Keys are
+// distributed by the same Fibonacci hash the flat table indexes with, so a
+// key's shard is stable across its lifetime.
+type shardedTable struct {
+	shards [tableShards]struct {
+		mu sync.Mutex
+		t  *mappingTable
+	}
+}
+
+func newShardedTable() *shardedTable {
+	st := &shardedTable{}
+	for i := range st.shards {
+		st.shards[i].t = newMappingTableSized(hashTableSlots/tableShards, 2)
+	}
+	return st
+}
+
+func (st *shardedTable) shard(k mapKey) *struct {
+	mu sync.Mutex
+	t  *mappingTable
+} {
+	h := uint64(k.seg)<<40 ^ uint64(k.page)
+	h *= 0x9e3779b97f4a7c15
+	return &st.shards[h>>60] // top 4 bits pick one of 16 shards
+}
+
+func (st *shardedTable) lookup(k mapKey) (*pageEntry, bool) {
+	s := st.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.lookup(k)
+}
+
+func (st *shardedTable) insert(k mapKey, e *pageEntry) {
+	s := st.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.insert(k, e)
+}
+
+func (st *shardedTable) remove(k mapKey) {
+	s := st.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.remove(k)
+}
+
+func (st *shardedTable) removeSegment(seg SegID) {
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.Lock()
+		s.t.removeSegment(seg)
+		s.mu.Unlock()
+	}
+}
+
+func (st *shardedTable) stats() (hits, misses, spills, drops int64) {
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.Lock()
+		h, m, sp, d := s.t.stats()
+		s.mu.Unlock()
+		hits += h
+		misses += m
+		spills += sp
+		drops += d
+	}
+	return
+}
+
+func (st *shardedTable) resetStats() {
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.Lock()
+		s.t.resetStats()
+		s.mu.Unlock()
+	}
+}
+
+const tlbStripes = 8
+
+// stripedTLB partitions TLB entries into per-segment stripes so different
+// applications' translation traffic does not serialize on one lock. The
+// entries within a stripe keep the R3000 round-robin replacement.
+type stripedTLB struct {
+	stripes [tlbStripes]struct {
+		mu sync.Mutex
+		t  *tlb
+	}
+}
+
+func newStripedTLB(entries int) *stripedTLB {
+	per := entries / tlbStripes
+	if per < 1 {
+		per = 1
+	}
+	st := &stripedTLB{}
+	for i := range st.stripes {
+		st.stripes[i].t = newTLB(per)
+	}
+	return st
+}
+
+func (st *stripedTLB) stripe(seg SegID) *struct {
+	mu sync.Mutex
+	t  *tlb
+} {
+	return &st.stripes[uint32(seg)%tlbStripes]
+}
+
+func (st *stripedTLB) lookup(k mapKey) bool {
+	s := st.stripe(k.seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.lookup(k)
+}
+
+func (st *stripedTLB) install(k mapKey) {
+	s := st.stripe(k.seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.install(k)
+}
+
+func (st *stripedTLB) invalidate(k mapKey) {
+	s := st.stripe(k.seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.invalidate(k)
+}
+
+func (st *stripedTLB) invalidateSegment(seg SegID) {
+	s := st.stripe(seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.invalidateSegment(seg)
+}
+
+func (st *stripedTLB) stats() (hits, misses int64) {
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.Lock()
+		h, m := s.t.stats()
+		s.mu.Unlock()
+		hits += h
+		misses += m
+	}
+	return
+}
+
+func (st *stripedTLB) resetStats() {
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.Lock()
+		s.t.resetStats()
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,117 @@
+package plane
+
+import (
+	"testing"
+	"time"
+)
+
+// refEnv mirrors one enqueued envelope in the flat reference queue.
+type refEnv struct {
+	box  int
+	seq  uint64
+	time time.Duration
+	msg  int
+}
+
+// FuzzMailbox drives a Group of four mailboxes with a byte-coded op stream
+// (enqueue with a time delta, pop-oldest, revoke-and-drain a mailbox) and
+// checks every observable against a flat reference queue: pop order must be
+// the (Time, Seq) minimum, drains must return that box's messages in FIFO
+// order, and lengths must agree throughout.
+func FuzzMailbox(f *testing.F) {
+	f.Add([]byte{0x00, 0x11, 0x22, 0x33, 0x40, 0x41})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x50, 0x40, 0x40, 0x40, 0x40})
+	f.Add([]byte{0x10, 0x51, 0x10, 0x40, 0x52, 0x53, 0x50})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x40, 0x00, 0x50, 0x00, 0x40, 0x40})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const nBoxes = 4
+		var g Group[int]
+		boxes := make([]*Mailbox[int], nBoxes)
+		live := make([]bool, nBoxes)
+		for i := range boxes {
+			boxes[i] = g.NewMailbox()
+			live[i] = true
+		}
+		var ref []refEnv
+		var now time.Duration
+		var seq uint64
+		nextMsg := 0
+
+		refLen := func() int {
+			n := 0
+			for _, e := range ref {
+				_ = e
+				n++
+			}
+			return n
+		}
+		for _, op := range ops {
+			box := int(op>>2) % nBoxes
+			switch {
+			case op&0xf0 == 0x40: // pop oldest
+				e, ok := g.PopOldest()
+				if len(ref) == 0 {
+					if ok {
+						t.Fatalf("PopOldest returned %v on empty group", e.Msg)
+					}
+					continue
+				}
+				// Find the reference minimum by (time, seq).
+				min := 0
+				for i := 1; i < len(ref); i++ {
+					if ref[i].time < ref[min].time ||
+						(ref[i].time == ref[min].time && ref[i].seq < ref[min].seq) {
+						min = i
+					}
+				}
+				want := ref[min]
+				ref = append(ref[:min], ref[min+1:]...)
+				if !ok {
+					t.Fatalf("PopOldest empty, reference has %d envelopes", len(ref)+1)
+				}
+				if e.Msg != want.msg || e.Time != want.time {
+					t.Fatalf("PopOldest = msg %d t=%v, want msg %d t=%v",
+						e.Msg, e.Time, want.msg, want.time)
+				}
+			case op&0xf0 == 0x50: // revoke: remove box from group and drain it
+				if !live[box] {
+					continue
+				}
+				live[box] = false
+				g.Remove(boxes[box])
+				got := boxes[box].Drain()
+				var want []refEnv
+				var rest []refEnv
+				for _, e := range ref {
+					if e.box == box {
+						want = append(want, e)
+					} else {
+						rest = append(rest, e)
+					}
+				}
+				ref = rest
+				if len(got) != len(want) {
+					t.Fatalf("drain box %d: %d envelopes, want %d", box, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Msg != want[i].msg {
+						t.Fatalf("drain box %d pos %d: msg %d, want %d (FIFO violated)",
+							box, i, got[i].Msg, want[i].msg)
+					}
+				}
+			default: // enqueue to box, advancing time by the low bits
+				if !live[box] {
+					continue
+				}
+				now += time.Duration(op & 0x03)
+				seq++
+				g.Enqueue(boxes[box], now, nextMsg)
+				ref = append(ref, refEnv{box: box, seq: seq, time: now, msg: nextMsg})
+				nextMsg++
+			}
+			if g.Len() != refLen() {
+				t.Fatalf("group Len = %d, reference %d", g.Len(), refLen())
+			}
+		}
+	})
+}

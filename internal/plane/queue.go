@@ -1,0 +1,79 @@
+package plane
+
+import (
+	"sync"
+	"time"
+)
+
+// Queue is the blocking mailbox used by the concurrent scheduler: one
+// producer side (any goroutine delivering to a manager) and one consumer
+// (the manager's worker goroutine). It wraps a Mailbox with a mutex and a
+// condition variable, and adds a closed state for revocation/shutdown.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	box    Mailbox[T]
+	seq    uint64
+	closed bool
+}
+
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Put enqueues msg stamped with now. It reports false (and drops the
+// message) if the queue is closed — the caller treats that as delivering
+// to a revoked manager.
+func (q *Queue[T]) Put(now time.Duration, msg T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.seq++
+	q.box.Push(Envelope[T]{Seq: q.seq, Time: now, Msg: msg})
+	q.cond.Signal()
+	return true
+}
+
+// Take blocks until an envelope is available or the queue is closed.
+// It reports false only when the queue is closed AND empty: envelopes
+// already queued at close time are still handed out, so a consumer that
+// drains before exiting sees every accepted message exactly once.
+func (q *Queue[T]) Take() (Envelope[T], bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.box.Len() == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.box.Len() == 0 {
+		var zero Envelope[T]
+		return zero, false
+	}
+	e, _ := q.box.Pop()
+	return e, true
+}
+
+// Close marks the queue closed and returns everything still queued, waking
+// any blocked consumer. Subsequent Puts are refused; the caller answers the
+// returned envelopes itself (revocation semantics).
+func (q *Queue[T]) Close() []Envelope[T] {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	left := q.box.Drain()
+	q.cond.Broadcast()
+	return left
+}
+
+// Len reports the number of queued envelopes.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.box.Len()
+}

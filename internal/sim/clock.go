@@ -12,17 +12,23 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
 // Clock is a virtual clock. It only moves when some simulated activity
 // charges time to it. The zero value is a clock at time zero, ready to use.
+//
+// The counter is atomic so concurrent managers (the kernel's concurrent
+// delivery scheduler) can charge costs without a lock; under the serial
+// scheduler the atomics are uncontended and the observable sequence of
+// times is exactly that of a plain counter, so determinism is unaffected.
 type Clock struct {
-	now time.Duration
+	now atomic.Int64 // nanoseconds
 }
 
 // Now returns the current virtual time.
-func (c *Clock) Now() time.Duration { return c.now }
+func (c *Clock) Now() time.Duration { return time.Duration(c.now.Load()) }
 
 // Advance moves the clock forward by d. Advancing by a negative duration
 // panics: virtual time never runs backwards.
@@ -30,19 +36,24 @@ func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: clock advanced by negative duration %v", d))
 	}
-	c.now += d
+	c.now.Add(int64(d))
 }
 
 // AdvanceTo moves the clock forward to t. It panics if t is in the past.
 func (c *Clock) AdvanceTo(t time.Duration) {
-	if t < c.now {
-		panic(fmt.Sprintf("sim: clock moved backwards from %v to %v", c.now, t))
+	for {
+		now := c.now.Load()
+		if int64(t) < now {
+			panic(fmt.Sprintf("sim: clock moved backwards from %v to %v", time.Duration(now), t))
+		}
+		if c.now.CompareAndSwap(now, int64(t)) {
+			return
+		}
 	}
-	c.now = t
 }
 
 // Reset returns the clock to time zero.
-func (c *Clock) Reset() { c.now = 0 }
+func (c *Clock) Reset() { c.now.Store(0) }
 
 // Stopwatch measures an interval of virtual time against a Clock.
 type Stopwatch struct {

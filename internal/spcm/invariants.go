@@ -20,6 +20,8 @@ func (s *SPCM) CheckInvariants() error {
 	if err := s.k.CheckFrameConservation(); err != nil {
 		return fmt.Errorf("spcm invariant: %w", err)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	seen := make(map[int64]bool, len(s.freePages))
 	for _, p := range s.freePages {
 		if seen[p] {

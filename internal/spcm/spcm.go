@@ -18,6 +18,7 @@ package spcm
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"epcm/internal/kernel"
@@ -107,10 +108,22 @@ type Stats struct {
 }
 
 // SPCM is the system page cache manager.
+//
+// One mutex guards the whole ledger — free pool, accounts, demand and
+// decision counters — so managers running on separate goroutines (the
+// kernel's concurrent delivery scheduler) can request, return and be
+// charged concurrently. The lock is held across the grant's MigratePages
+// (SPCM → kernel is lock-ordered before segment locks) but never across a
+// call *into* a manager's reclaim path: Enforce releases it first, because
+// reclamation re-enters the SPCM via ReturnFrames. SettleAll and Enforce
+// settle accounts against their managers' page counts, so they must run
+// from a quiescent control point (the market tick), not concurrently with
+// that manager's fault handling.
 type SPCM struct {
 	k      *kernel.Kernel
 	clock  *sim.Clock
 	policy Policy
+	mu     sync.Mutex
 	// freePages are boot-segment page numbers (== PFNs) available to grant.
 	freePages []int64
 	accounts  map[*manager.Generic]*Account
@@ -147,10 +160,18 @@ func New(k *kernel.Kernel, policy Policy) *SPCM {
 }
 
 // FreeFrames reports the number of unallocated frames.
-func (s *SPCM) FreeFrames() int { return len(s.freePages) }
+func (s *SPCM) FreeFrames() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.freePages)
+}
 
 // Stats returns a snapshot of decision counters.
-func (s *SPCM) Stats() Stats { return s.stats }
+func (s *SPCM) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // Policy returns the market policy.
 func (s *SPCM) Policy() Policy { return s.policy }
@@ -158,6 +179,8 @@ func (s *SPCM) Policy() Policy { return s.policy }
 // Register opens an account for a manager. income <= 0 selects the policy
 // default. The manager's Config.Source should be this SPCM.
 func (s *SPCM) Register(g *manager.Generic, name string, income float64) *Account {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if income <= 0 {
 		income = s.policy.DefaultIncome
 	}
@@ -169,10 +192,16 @@ func (s *SPCM) Register(g *manager.Generic, name string, income float64) *Accoun
 
 // SetGrantGate installs (or, with nil, removes) the grant gate consulted by
 // RequestFrames and RequestContiguous before frames are picked.
-func (s *SPCM) SetGrantGate(gate func(n int) bool) { s.grantGate = gate }
+func (s *SPCM) SetGrantGate(gate func(n int) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grantGate = gate
+}
 
 // Account returns the account of a registered manager.
 func (s *SPCM) Account(g *manager.Generic) (*Account, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	a, ok := s.accounts[g]
 	return a, ok
 }
@@ -215,6 +244,8 @@ func (s *SPCM) settle(a *Account) {
 // SettleAll settles every account (periodic market tick), in registration
 // order for deterministic schedules.
 func (s *SPCM) SettleAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, g := range s.order {
 		s.settle(s.accounts[g])
 	}
@@ -222,6 +253,8 @@ func (s *SPCM) SettleAll() {
 
 // ChargeIO records n pages of I/O against a manager's account.
 func (s *SPCM) ChargeIO(g *manager.Generic, pages int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if a, ok := s.accounts[g]; ok {
 		a.ioPages += pages
 	}
@@ -232,6 +265,8 @@ func (s *SPCM) ChargeIO(g *manager.Generic, pages int64) {
 // satisfying the constraint are granted (fewer than n is the paper's
 // "allocates and provides as many page frames as it can or is willing to").
 func (s *SPCM) RequestFrames(g *manager.Generic, n int, constraint phys.Range) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	a, ok := s.accounts[g]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
@@ -300,6 +335,8 @@ func (s *SPCM) pickFrames(n int, constraint phys.Range) []int64 {
 // large pages via MigrateCoalesced). It returns the granted boot pages in
 // the target manager's free segment, or 0 if no run exists.
 func (s *SPCM) RequestContiguous(g *manager.Generic, n int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	a, ok := s.accounts[g]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
@@ -375,6 +412,8 @@ func (s *SPCM) removeFreePages(pages []int64) {
 // ReturnFrames implements manager.FrameSource: frames come home to the
 // boot segment.
 func (s *SPCM) ReturnFrames(g *manager.Generic, slots []int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.accounts[g]; !ok {
 		return fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
 	}
@@ -409,9 +448,18 @@ func (s *SPCM) ReturnFrames(g *manager.Generic, slots []int64) error {
 // one account (a writeback that fails during its reclaim, say) does not stop
 // enforcement of the others. Accounts are processed in registration order;
 // per-account errors are joined into the returned error.
+//
+// The ledger lock is released before each manager's reclaim runs: the
+// manager surrenders frames via ReturnFreeFrames, which re-enters the SPCM
+// through ReturnFrames and must be able to take the lock itself.
 func (s *SPCM) Enforce() (int, error) {
-	total := 0
-	var errs []error
+	s.mu.Lock()
+	type demand struct {
+		g     *manager.Generic
+		name  string
+		pages int
+	}
+	var work []demand
 	for _, g := range s.order {
 		a := s.accounts[g]
 		s.settle(a)
@@ -431,10 +479,18 @@ func (s *SPCM) Enforce() (int, error) {
 		if pages == 0 {
 			continue
 		}
+		work = append(work, demand{g: g, name: a.name, pages: pages})
+	}
+	s.mu.Unlock()
+
+	total := 0
+	var errs []error
+	for _, w := range work {
+		g, pages := w.g, w.pages
 		if g.FreeFrames() < pages {
 			if _, err := g.Reclaim(pages-g.FreeFrames(), phys.AnyFrame()); err != nil {
 				// Partial reclaim: return whatever freed up and move on.
-				errs = append(errs, fmt.Errorf("spcm: enforce %s: %w", a.name, err))
+				errs = append(errs, fmt.Errorf("spcm: enforce %s: %w", w.name, err))
 			}
 		}
 		want := pages
@@ -446,12 +502,14 @@ func (s *SPCM) Enforce() (int, error) {
 		}
 		n, err := g.ReturnFreeFrames(want)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("spcm: enforce %s: %w", a.name, err))
+			errs = append(errs, fmt.Errorf("spcm: enforce %s: %w", w.name, err))
 			continue
 		}
 		total += n
-		s.stats.ForcedReclaims += int64(n)
 	}
+	s.mu.Lock()
+	s.stats.ForcedReclaims += int64(total)
+	s.mu.Unlock()
 	return total, errors.Join(errs...)
 }
 
@@ -462,6 +520,8 @@ func (s *SPCM) Enforce() (int, error) {
 // already reassigned to the default manager. Returns the number of frames
 // repossessed.
 func (s *SPCM) Revoke(g *manager.Generic) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.accounts[g]; !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
 	}
@@ -510,6 +570,8 @@ func (s *SPCM) Revoke(g *manager.Generic) (int, error) {
 // the account can afford to hold `pages` frames for `slice` of runtime,
 // given current balance and income. Zero means it can afford it now.
 func (s *SPCM) EstimateWait(a *Account, pages int, slice time.Duration) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.settle(a)
 	needMB := float64(pages) / s.pagesPerMB()
 	cost := needMB * s.policy.PricePerMBSecond * slice.Seconds()
@@ -525,4 +587,8 @@ func (s *SPCM) EstimateWait(a *Account, pages int, slice time.Duration) time.Dur
 
 // Demand reports current unmet demand in frames (the §2.4 "queries to the
 // SPCM [to] determine the demand on memory").
-func (s *SPCM) Demand() int { return s.unmetDemand }
+func (s *SPCM) Demand() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.unmetDemand
+}

@@ -10,6 +10,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"epcm/internal/sim"
@@ -97,11 +98,16 @@ type InjectedFault struct {
 // is armed.
 type FaultHook func(op Op, name string, block int64) *InjectedFault
 
-// Store is the standard BlockStore implementation.
+// Store is the standard BlockStore implementation. It is safe for
+// concurrent use: one mutex serializes block accesses, which stands in for
+// the single server/device queue the paper's diskless workstation talks to.
+// Managers that should not contend (the multi-application throughput
+// experiment) get a store each.
 type Store struct {
 	clock     *sim.Clock
 	model     LatencyModel
 	blockSize int
+	mu        sync.Mutex
 	files     map[string]map[int64][]byte
 	sizes     map[string]int64
 	reads     int64
@@ -129,19 +135,35 @@ func NewStore(clock *sim.Clock, model LatencyModel, blockSize int) *Store {
 }
 
 // SetCharging enables or disables latency charging (setup vs measured run).
-func (s *Store) SetCharging(on bool) { s.charge = on }
+func (s *Store) SetCharging(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.charge = on
+}
 
 // SetFaultHook installs (or, with nil, removes) the fault-injection hook.
-func (s *Store) SetFaultHook(h FaultHook) { s.hook = h }
+func (s *Store) SetFaultHook(h FaultHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
 
 // BlockSize reports the block size.
 func (s *Store) BlockSize() int { return s.blockSize }
 
 // Reads reports the number of Fetch calls.
-func (s *Store) Reads() int64 { return s.reads }
+func (s *Store) Reads() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads
+}
 
 // Writes reports the number of Store calls.
-func (s *Store) Writes() int64 { return s.writes }
+func (s *Store) Writes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
+}
 
 func (s *Store) chargeAccess(bytes int) {
 	if !s.charge {
@@ -152,6 +174,8 @@ func (s *Store) chargeAccess(bytes int) {
 
 // Fetch implements BlockStore.
 func (s *Store) Fetch(name string, block int64, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if block < 0 {
 		return fmt.Errorf("storage: fetch %q block %d: negative block", name, block)
 	}
@@ -180,6 +204,12 @@ func (s *Store) Fetch(name string, block int64, buf []byte) error {
 
 // Store implements BlockStore.
 func (s *Store) Store(name string, block int64, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.storeLocked(name, block, buf)
+}
+
+func (s *Store) storeLocked(name string, block int64, buf []byte) error {
 	if block < 0 {
 		return fmt.Errorf("storage: store %q block %d: negative block", name, block)
 	}
@@ -243,11 +273,17 @@ func (s *Store) tornWrite(name string, block int64, buf []byte) {
 }
 
 // Size implements BlockStore.
-func (s *Store) Size(name string) int64 { return s.sizes[name] }
+func (s *Store) Size(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sizes[name]
+}
 
 // Preload writes a file's contents without charging latency or counting
 // operations — experiment setup.
 func (s *Store) Preload(name string, blocks int64, fill func(block int64, buf []byte)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	savedCharge := s.charge
 	s.charge = false
 	buf := make([]byte, s.blockSize)
@@ -255,10 +291,9 @@ func (s *Store) Preload(name string, blocks int64, fill func(block int64, buf []
 		if fill != nil {
 			fill(b, buf)
 		}
-		if err := s.Store(name, b, buf); err != nil {
+		if err := s.storeLocked(name, b, buf); err != nil {
 			panic(err) // preload arguments are programmer-controlled
 		}
-		s.writes--
 	}
 	s.charge = savedCharge
 	s.reads, s.writes = 0, 0

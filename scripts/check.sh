@@ -19,6 +19,9 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== examples build smoke =="
+go build ./examples/...
+
 echo "== go test -race =="
 go test -race ./...
 
@@ -28,8 +31,10 @@ go test -race -run Chaos -count=1 ./internal/core ./internal/spcm
 echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz='^FuzzMappingTable$' -fuzztime=10s ./internal/kernel
 go test -run='^$' -fuzz='^FuzzUIO$' -fuzztime=10s ./internal/uio
+go test -run='^$' -fuzz='^FuzzMailbox$' -fuzztime=10s ./internal/plane
 
 echo "== bench smoke (1 iteration) =="
 go test -bench=Harness -benchtime=1x -run='^$' .
+go test -bench=DeliveryPlane -benchtime=1x -run='^$' ./internal/experiments
 
 echo "All checks passed."
