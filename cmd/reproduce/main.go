@@ -15,6 +15,9 @@
 //	reproduce -json BENCH_reproduce.json
 //	reproduce -sched concurrent      # concurrent fault-delivery scheduler
 //	reproduce -plane                 # also run the delivery-plane scaling table
+//	reproduce -plane -managers 1,2,4 # plane table over chosen manager counts
+//	reproduce -batch=false           # disable batched kernel operations
+//	reproduce -scale                 # wall-clock scale sweep -> BENCH_scale.json
 package main
 
 import (
@@ -23,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"epcm/internal/experiments"
@@ -59,8 +64,17 @@ func main() {
 	jsonPath := flag.String("json", "", "write a benchmark-trajectory record to this path")
 	sched := flag.String("sched", "serial", "fault-delivery scheduler: serial (deterministic) or concurrent")
 	planeTbl := flag.Bool("plane", false, "also run the delivery-plane throughput scaling table (wall-clock columns; not part of the golden output)")
+	batch := flag.Bool("batch", true, "use batched kernel operations (MigratePagesBatch/ModifyPageFlagsBatch)")
+	managersFlag := flag.String("managers", "1,4", "comma-separated manager counts for the -plane table")
+	scale := flag.Bool("scale", false, "run the wall-clock scale sweep (managers x scheduler x batch) and append it to BENCH_scale.json")
 	flag.Parse()
+	kernel.SetBatchOps(*batch)
 	if err := kernel.SetBootScheduler(*sched); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(2)
+	}
+	managers, err := parseManagers(*managersFlag)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(2)
 	}
@@ -85,8 +99,13 @@ func main() {
 	if *ablations {
 		add("ablations", experiments.Ablations)
 	}
+	var planeRuns []experiments.PlaneResult
 	if *planeTbl {
-		add("plane", func() (*experiments.Report, error) { return experiments.PlaneTable(0) })
+		add("plane", func() (*experiments.Report, error) {
+			rep, runs, err := experiments.PlaneTable(0, managers)
+			planeRuns = runs
+			return rep, err
+		})
 	}
 
 	start := time.Now()
@@ -122,6 +141,31 @@ func main() {
 		traj.ParallelSpeedup = traj.SumTableWallMS / traj.TotalWallMS
 	}
 
+	if len(planeRuns) > 0 {
+		sweep := experiments.NewPlaneSweep(512, fmt.Sprintf("cmd/reproduce -plane, sched %s, batch %v", *sched, *batch))
+		sweep.Runs = planeRuns
+		if err := experiments.AppendBenchSweep("BENCH_plane.json", "delivery-plane", sweep); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce: writing BENCH_plane.json:", err)
+			ok = false
+		}
+	}
+	if *scale {
+		// The sweep toggles the process-global batch switch per cell, so it
+		// runs by itself after the harness tasks have drained.
+		rep, sweep, err := experiments.ScaleSweep(0, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce: scale sweep:", err)
+			ok = false
+		} else {
+			os.Stdout.Write(rep.Output)
+			ok = ok && rep.OK
+			if err := experiments.AppendBenchSweep("BENCH_scale.json", "scale-sweep", sweep); err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce: writing BENCH_scale.json:", err)
+				ok = false
+			}
+		}
+	}
+
 	if *jsonPath != "" {
 		blob, err := json.MarshalIndent(traj, "", "  ")
 		if err == nil {
@@ -135,4 +179,24 @@ func main() {
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// parseManagers parses the -managers comma list.
+func parseManagers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -managers entry %q (want positive integers, comma-separated)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-managers list is empty")
+	}
+	return out, nil
 }

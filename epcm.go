@@ -89,6 +89,20 @@ var (
 	SystemCred = kernel.SystemCred
 )
 
+// PageRange is one contiguous run of pages in a batched kernel operation
+// (MigratePagesBatch / ModifyPageFlagsBatch).
+type PageRange = kernel.PageRange
+
+// Batched-operation helpers re-exported from the kernel: CoalesceRanges
+// groups parallel source/destination page lists into the fewest ranges;
+// SetBatchOps/BatchOps toggle the batched fast paths (the ablation arm of
+// the scale sweep).
+var (
+	CoalesceRanges = kernel.CoalesceRanges
+	SetBatchOps    = kernel.SetBatchOps
+	BatchOps       = kernel.BatchOps
+)
+
 // Generic is the specializable generic segment manager of the paper's §2.2.
 type Generic = manager.Generic
 

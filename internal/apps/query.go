@@ -142,8 +142,9 @@ func (q *ParallelQuery) Run() (time.Duration, error) {
 	// dead data — mark it discardable so the drop does no writeback (the
 	// §2.2 whole-structure discard of temporaries).
 	for _, seg := range segs {
-		for _, p := range seg.Pages() {
-			if err := q.k.ModifyPageFlags(kernel.AppCred, seg, p, 1, kernel.FlagDiscardable, 0); err != nil {
+		if pages := seg.Pages(); len(pages) > 0 {
+			ranges := kernel.CoalesceRanges(pages, pages)
+			if err := q.k.ModifyPageFlagsBatch(kernel.AppCred, seg, ranges, kernel.FlagDiscardable, 0); err != nil {
 				return elapsed, err
 			}
 		}

@@ -312,16 +312,13 @@ func (d *Default) BeginSampleInterval() error {
 	d.sampled = make(map[kernel.SegID]int64)
 	for _, seg := range d.managed {
 		pages := seg.Pages()
-		// Protect contiguous runs with single kernel calls.
-		for i := 0; i < len(pages); {
-			j := i + 1
-			for j < len(pages) && pages[j] == pages[j-1]+1 {
-				j++
-			}
-			if err := d.k.ModifyPageFlags(kernel.AppCred, seg, pages[i], int64(j-i), 0, kernel.FlagRW); err != nil {
-				return err
-			}
-			i = j
+		if len(pages) == 0 {
+			continue
+		}
+		// Protect the whole segment — all its runs — with one kernel call.
+		ranges := kernel.CoalesceRanges(pages, pages)
+		if err := d.k.ModifyPageFlagsBatch(kernel.AppCred, seg, ranges, 0, kernel.FlagRW); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -344,6 +341,7 @@ func (d *Default) WritebackAll() error {
 		if _, ok := d.backing.FileOf(seg); !ok {
 			continue
 		}
+		var flushed []int64
 		for _, p := range seg.Pages() {
 			flags, _ := seg.Flags(p)
 			if !flags.Has(kernel.FlagDirty) {
@@ -352,9 +350,15 @@ func (d *Default) WritebackAll() error {
 			if err := d.backing.Writeback(seg, p, seg.FrameAt(p)); err != nil {
 				return err
 			}
-			if err := d.k.ModifyPageFlags(kernel.AppCred, seg, p, 1, 0, kernel.FlagDirty); err != nil {
-				return err
-			}
+			flushed = append(flushed, p)
+		}
+		if len(flushed) == 0 {
+			continue
+		}
+		// One batched call clears the dirty bits of everything flushed.
+		ranges := kernel.CoalesceRanges(flushed, flushed)
+		if err := d.k.ModifyPageFlagsBatch(kernel.AppCred, seg, ranges, 0, kernel.FlagDirty); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -48,12 +49,17 @@ type PlaneOptions struct {
 	// MemoryBytes overrides physical memory; default is twice the working
 	// set plus slack, so the run measures delivery, not disk.
 	MemoryBytes int64
+	// NoBatch disables the batched kernel operations for this run (the
+	// ablation arm of the scale sweep). The zero value measures the real
+	// system: batching on.
+	NoBatch bool
 }
 
 // PlaneResult is the outcome of one throughput run.
 type PlaneResult struct {
 	Scheduler         string        `json:"scheduler"`
 	Managers          int           `json:"managers"`
+	Batch             bool          `json:"batch"`
 	Faults            int64         `json:"faults"`
 	Wall              time.Duration `json:"-"`
 	WallMS            float64       `json:"wall_ms"`
@@ -87,6 +93,13 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unknown scheduler %q", opt.Scheduler)
 	}
+
+	// The batch toggle is process-global; save and restore it so a sweep
+	// cell with batching off does not leak into the next cell. Sweeps run
+	// cells sequentially, never from parallel harness tasks.
+	prevBatch := kernel.BatchOps()
+	kernel.SetBatchOps(!opt.NoBatch)
+	defer kernel.SetBatchOps(prevBatch)
 
 	const frameSize = 4096
 	workingSet := int64(opt.Managers) * int64(opt.FaultsPerManager) * frameSize
@@ -128,7 +141,10 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 		segs[i] = seg
 	}
 
-	// Setup is not part of the measured run.
+	// Setup is not part of the measured run. Collect its garbage now so the
+	// allocator debt of building the kernel (tables, boot frames) is not paid
+	// at a random point inside the measured window.
+	runtime.GC()
 	clock.Reset()
 	faults0 := k.Stats().Faults
 	vstart := clock.Now()
@@ -167,6 +183,10 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 			}
 		}
 	}
+	// The measured window ends when the last driver returns; the invariant
+	// audit below walks every frame and page, which is verification work,
+	// not delivery throughput.
+	wall := time.Since(start)
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -179,8 +199,9 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 	res := &PlaneResult{
 		Scheduler:   opt.Scheduler,
 		Managers:    opt.Managers,
+		Batch:       !opt.NoBatch,
 		Faults:      k.Stats().Faults - faults0,
-		Wall:        time.Since(start),
+		Wall:        wall,
 		VirtualBusy: clock.Now() - vstart,
 	}
 	res.Makespan = res.VirtualBusy / time.Duration(opt.Managers)
@@ -196,27 +217,33 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 	return res, nil
 }
 
-// PlaneTable runs the delivery-plane scaling matrix (both schedulers, 1 and
-// 4 managers) and renders it as a table for cmd/reproduce -plane. It is not
-// part of the default reproduce output: wall-clock columns vary run to run,
-// so it stays out of the golden file.
-func PlaneTable(faultsPerManager int) (*Report, error) {
+// PlaneTable runs the delivery-plane scaling matrix (both schedulers over
+// the given manager counts, default 1 and 4) and renders it as a table for
+// cmd/reproduce -plane. It is not part of the default reproduce output:
+// wall-clock columns vary run to run, so it stays out of the golden file.
+// It also returns the raw runs so the CLI can append them to
+// BENCH_plane.json.
+func PlaneTable(faultsPerManager int, managers []int) (*Report, []PlaneResult, error) {
+	if len(managers) == 0 {
+		managers = []int{1, 4}
+	}
 	rep := &Report{Table: "plane"}
 	b := &bytes.Buffer{}
 	header(b, "Delivery-Plane Fault Throughput (not in paper; plane scaling)")
 	fmt.Fprintf(b, "%-12s %9s %10s %14s %16s %16s\n",
 		"Scheduler", "Managers", "Faults", "Makespan(ms)", "Model faults/s", "Wall faults/s")
 	var base float64
+	var runs []PlaneResult
 	ok := true
 	for _, sched := range []string{"serial", "concurrent"} {
-		for _, n := range []int{1, 4} {
+		for _, n := range managers {
 			r, err := PlaneThroughput(PlaneOptions{
 				Scheduler:        sched,
 				Managers:         n,
 				FaultsPerManager: faultsPerManager,
 			})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			fmt.Fprintf(b, "%-12s %9d %10d %14.2f %16.0f %16.0f\n",
 				r.Scheduler, r.Managers, r.Faults, r.MakespanMS,
@@ -227,7 +254,8 @@ func PlaneTable(faultsPerManager int) (*Report, error) {
 				Measured: r.ModelFaultsPerSec,
 				Unit:     "faults/s",
 			})
-			if sched == "serial" && n == 1 {
+			runs = append(runs, *r)
+			if sched == "serial" && n == managers[0] {
 				base = r.ModelFaultsPerSec
 			}
 			if n == 4 && base > 0 && r.ModelFaultsPerSec < 2*base {
@@ -237,5 +265,5 @@ func PlaneTable(faultsPerManager int) (*Report, error) {
 	}
 	rep.OK = ok
 	rep.Output = b.Bytes()
-	return rep, nil
+	return rep, runs, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"epcm/internal/plane"
 )
@@ -249,16 +250,41 @@ func (s *serialScheduler) Stop() {}
 // ---------------------------------------------------------------------------
 // Concurrent scheduler
 
-// concurrentScheduler runs every manager on its own worker goroutine fed by
-// a blocking queue. A delivery becomes enqueue + wait-for-reply, so faults
-// against different managers execute in parallel while each single manager
-// still sees its messages strictly in order — the paper's separate manager
-// processes, realized as goroutines.
+// laneRingCap bounds in-flight messages per manager lane. Each posting
+// goroutine has at most one message outstanding, so the cap only matters
+// when more drivers than this share one manager; a full ring just makes
+// producers yield.
+const laneRingCap = 256
+
+// lane is one manager's delivery context under the concurrent scheduler: a
+// contention-free MPSC ring of pending messages and a combining token. The
+// goroutine holding the token is the lane's executor — it drains the ring
+// and processes messages in arrival order, giving each manager the strict
+// message serialization the paper's separate manager processes have,
+// without a dedicated worker goroutine or a lock rendezvous per message.
+type lane struct {
+	ring    *plane.Ring[delivery]
+	token   atomic.Bool
+	revoked atomic.Bool
+}
+
+// concurrentScheduler delivers by flat combining: the faulting goroutine
+// that finds a manager's lane idle takes the combining token and processes
+// its own message inline — no enqueue, no channel, no goroutine switch — so
+// N applications faulting against N managers run their managers' code on
+// their own CPUs. Only when a lane is busy does a delivery enqueue onto the
+// lane's ring and wait for the current token holder (which drains the ring
+// before releasing, and re-checks after releasing, so no message is
+// stranded) to answer its reply channel.
 type concurrentScheduler struct {
-	k       *Kernel
+	k *Kernel
+	// lanes maps Manager -> *lane. Lane lookup is on the per-fault path, so
+	// it uses sync.Map: a steady-state Load is a lock-free read with no
+	// shared-cache-line write, where an RWMutex RLock/RUnlock pair costs two
+	// contended atomic RMWs per fault. mu serializes the mutators (create,
+	// Revoke, Stop).
+	lanes   sync.Map
 	mu      sync.Mutex
-	workers map[Manager]*plane.Queue[delivery]
-	wg      sync.WaitGroup
 	stopped bool
 }
 
@@ -266,38 +292,45 @@ type concurrentScheduler struct {
 // it with Kernel.SetScheduler (which also swaps the mapping caches for
 // their sharded, locked variants), and Stop it when the run ends.
 func NewConcurrentScheduler(k *Kernel) Scheduler {
-	return &concurrentScheduler{k: k, workers: make(map[Manager]*plane.Queue[delivery])}
+	return &concurrentScheduler{k: k}
 }
 
 func (s *concurrentScheduler) Name() string     { return "concurrent" }
 func (s *concurrentScheduler) Concurrent() bool { return true }
 
-// worker returns m's queue, creating the queue and its worker goroutine on
-// first use. Returns nil after Stop.
-func (s *concurrentScheduler) worker(m Manager) *plane.Queue[delivery] {
+// laneOf returns m's lane, creating it on first use. Returns nil after Stop.
+func (s *concurrentScheduler) laneOf(m Manager) *lane {
+	if v, ok := s.lanes.Load(m); ok {
+		return v.(*lane)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.stopped {
 		return nil
 	}
-	q, ok := s.workers[m]
-	if !ok {
-		q = plane.NewQueue[delivery]()
-		s.workers[m] = q
-		s.wg.Add(1)
-		go s.run(q)
+	if v, ok := s.lanes.Load(m); ok {
+		return v.(*lane)
 	}
-	return q
+	ln := &lane{ring: plane.NewRing[delivery](laneRingCap)}
+	s.lanes.Store(m, ln)
+	return ln
 }
 
-// run is one manager's worker loop: take a message, process it, reply.
-// It exits when the queue is closed and drained (revocation or Stop).
-func (s *concurrentScheduler) run(q *plane.Queue[delivery]) {
-	defer s.wg.Done()
+// drainCells processes every queued message of a lane. The caller must hold
+// the lane's combining token. Messages of a revoked lane are answered nil —
+// lost deliveries, so the faulting processes retry against the adopting
+// manager.
+func (s *concurrentScheduler) drainCells(ln *lane) {
 	for {
-		env, ok := q.Take()
+		env, ok := ln.ring.Pop()
 		if !ok {
 			return
+		}
+		if ln.revoked.Load() {
+			if env.Msg.reply != nil {
+				env.Msg.reply <- nil
+			}
+			continue
 		}
 		err := s.k.process(env.Msg)
 		if env.Msg.reply != nil {
@@ -306,20 +339,55 @@ func (s *concurrentScheduler) run(q *plane.Queue[delivery]) {
 	}
 }
 
-// post enqueues a message for m and blocks for the reply. A refused
-// enqueue means m was revoked (or the scheduler stopped) between the
-// caller resolving the manager and the message landing; that is exactly a
-// lost delivery, so the caller's retry loop re-resolves and re-routes.
+// combine drains the lane until it is empty with the token released — the
+// release-then-recheck closes the race where a producer enqueues just after
+// the holder's last pop: either the producer's own token CAS succeeds, or
+// this holder's recheck sees the message.
+func (s *concurrentScheduler) combine(ln *lane) {
+	for {
+		s.drainCells(ln)
+		ln.token.Store(false)
+		if ln.ring.Len() == 0 {
+			return
+		}
+		if !ln.token.CompareAndSwap(false, true) {
+			return // another goroutine took over the lane
+		}
+	}
+}
+
+// post delivers one message to m. Fast path: the lane is idle, so the
+// calling goroutine takes the token and runs the manager inline. Slow path:
+// enqueue with a reply channel, help combine if the token frees up, and
+// wait for the answer. A nil return with no processing (stopped scheduler,
+// revoked manager) is a lost delivery; the caller's retry loop re-resolves
+// and re-routes.
 func (s *concurrentScheduler) post(m Manager, d delivery) error {
-	q := s.worker(m)
-	if q == nil {
+	ln := s.laneOf(m)
+	if ln == nil {
 		return nil
 	}
 	d.mgr = m
-	d.reply = make(chan error, 1)
-	if !q.Put(s.k.clock.Now(), d) {
-		return nil
+	if ln.ring.Len() == 0 && ln.token.CompareAndSwap(false, true) {
+		if ln.revoked.Load() {
+			ln.token.Store(false)
+			return nil
+		}
+		s.drainCells(ln) // anything that slipped in first, in order
+		err := s.k.process(d)
+		s.combine(ln) // drains again, then releases with recheck
+		return err
 	}
+	d.reply = make(chan error, 1)
+	if !ln.ring.Put(s.k.clock.Now(), d) {
+		return nil // revoked while posting: lost delivery
+	}
+	if ln.token.CompareAndSwap(false, true) {
+		s.combine(ln)
+	}
+	// Either this goroutine just combined (answering its own message along
+	// the way) or the token holder at CAS time is bound to see the message
+	// on its release-recheck.
 	return <-d.reply
 }
 
@@ -335,28 +403,32 @@ func (s *concurrentScheduler) Exec(m Manager, fn func()) {
 	s.post(m, delivery{kind: msgExec, fn: fn})
 }
 
-// Revoke closes m's queue and answers everything still queued with nil.
-// The dead manager's worker finishes the message it is processing (crash
-// recovery runs *on* that worker) and then exits; it is never joined here,
-// so a manager may revoke itself.
+// Revoke marks m's lane dead and answers everything still queued with nil.
+// If the token is held — including by this goroutine itself, when a manager
+// crash is detected mid-processing and recovery revokes the manager from
+// inside its own lane — the holder's drain loop sees the revoked flag and
+// answers nil itself.
 func (s *concurrentScheduler) Revoke(m Manager) {
 	s.mu.Lock()
-	q := s.workers[m]
-	delete(s.workers, m)
+	v, ok := s.lanes.Load(m)
+	s.lanes.Delete(m)
 	s.mu.Unlock()
-	if q == nil {
+	if !ok {
 		return
 	}
-	for _, env := range q.Close() {
-		if env.Msg.reply != nil {
-			env.Msg.reply <- nil
-		}
+	ln := v.(*lane)
+	ln.revoked.Store(true)
+	ln.ring.Close()
+	if ln.token.CompareAndSwap(false, true) {
+		s.combine(ln)
 	}
 }
 
-// Stop closes every worker queue, answers queued messages with nil and
-// waits for the workers to exit. Call it from outside any worker (for
-// example System.Shutdown or a test's cleanup).
+// Stop retires every lane: further deliveries are refused (nil results) and
+// queued messages are answered nil. Messages being processed inline finish
+// on their posting goroutines; call Stop from outside any delivery (for
+// example System.Shutdown or a test's cleanup), when the drivers have
+// returned.
 func (s *concurrentScheduler) Stop() {
 	s.mu.Lock()
 	if s.stopped {
@@ -364,20 +436,20 @@ func (s *concurrentScheduler) Stop() {
 		return
 	}
 	s.stopped = true
-	qs := make([]*plane.Queue[delivery], 0, len(s.workers))
-	for _, q := range s.workers {
-		qs = append(qs, q)
-	}
-	s.workers = make(map[Manager]*plane.Queue[delivery])
+	var lanes []*lane
+	s.lanes.Range(func(key, v any) bool {
+		lanes = append(lanes, v.(*lane))
+		s.lanes.Delete(key)
+		return true
+	})
 	s.mu.Unlock()
-	for _, q := range qs {
-		for _, env := range q.Close() {
-			if env.Msg.reply != nil {
-				env.Msg.reply <- nil
-			}
+	for _, ln := range lanes {
+		ln.revoked.Store(true)
+		ln.ring.Close()
+		if ln.token.CompareAndSwap(false, true) {
+			s.combine(ln)
 		}
 	}
-	s.wg.Wait()
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@ package manager
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"epcm/internal/kernel"
@@ -126,9 +127,15 @@ type Generic struct {
 	nextSlot   int64      // high-water mark for fresh slot numbers
 
 	resident  []resKey       // pages this manager has placed, clock order
-	resIdx    map[resKey]int // page -> index in resident
+	resIdx    residentIndex  // page -> index in resident
 	recallIdx map[resKey]int // reclaimed page -> index in freeSlots
 	hand      int            // clock hand
+
+	// nFree/nResident mirror len(freeSlots)/len(resident) as atomics so
+	// the SPCM can read held-page counts (settle, Enforce sizing) while the
+	// manager's own goroutine mutates its lists.
+	nFree     atomic.Int64
+	nResident atomic.Int64
 
 	managed map[kernel.SegID]*kernel.Segment
 	stats   Stats
@@ -170,7 +177,7 @@ func NewGeneric(k *kernel.Kernel, cfg Config) (*Generic, error) {
 		k:         k,
 		cfg:       cfg,
 		free:      free,
-		resIdx:    make(map[resKey]int),
+		resIdx:    newResidentIndex(),
 		recallIdx: make(map[resKey]int),
 		managed:   make(map[kernel.SegID]*kernel.Segment),
 	}, nil
@@ -191,11 +198,13 @@ func (g *Generic) FreeSegment() *kernel.Segment { return g.free }
 // Backing returns the manager's backing store adapter.
 func (g *Generic) Backing() Backing { return g.cfg.Backing }
 
-// FreeFrames reports the number of frames in the free-page segment.
-func (g *Generic) FreeFrames() int { return len(g.freeSlots) }
+// FreeFrames reports the number of frames in the free-page segment. It is
+// safe to call from other goroutines (the SPCM's settle and enforcement).
+func (g *Generic) FreeFrames() int { return int(g.nFree.Load()) }
 
 // ResidentPages reports how many pages the manager currently has placed.
-func (g *Generic) ResidentPages() int { return len(g.resident) }
+// Like FreeFrames it is safe to call from other goroutines.
+func (g *Generic) ResidentPages() int { return int(g.nResident.Load()) }
 
 // Stats returns a snapshot of activity counters.
 func (g *Generic) Stats() Stats { return g.stats }
@@ -241,7 +250,7 @@ func (g *Generic) retryBacking(err error, op func() error) error {
 func (g *Generic) AdoptResident(seg *kernel.Segment) {
 	seg.ForEachPage(func(page int64) bool {
 		key := resKey{seg: seg, page: page}
-		if _, ok := g.resIdx[key]; !ok {
+		if _, ok := g.resIdx.get(key); !ok {
 			g.addResident(key)
 		}
 		return true
@@ -295,6 +304,7 @@ func (g *Generic) FramesGranted(slots []int64) {
 			panic(fmt.Sprintf("manager %s: FramesGranted slot %d has no frame", g.cfg.Name, s))
 		}
 		g.freeSlots = append(g.freeSlots, freeSlot{slot: s})
+		g.nFree.Add(1)
 		g.stats.Grants++
 	}
 }
@@ -309,6 +319,7 @@ func (g *Generic) Adopt() {
 	for _, p := range g.free.Pages() {
 		if !known[p] {
 			g.freeSlots = append(g.freeSlots, freeSlot{slot: p})
+			g.nFree.Add(1)
 			if p >= g.nextSlot {
 				g.nextSlot = p + 1
 			}
@@ -468,6 +479,7 @@ func (g *Generic) removeFreeSlotAt(i int) {
 	if fs.recall {
 		delete(g.recallIdx, fs.from)
 	}
+	g.nFree.Add(-1)
 	last := len(g.freeSlots) - 1
 	g.freeSlots[i] = g.freeSlots[last]
 	g.freeSlots = g.freeSlots[:last]
@@ -479,21 +491,23 @@ func (g *Generic) removeFreeSlotAt(i int) {
 }
 
 func (g *Generic) addResident(key resKey) {
-	g.resIdx[key] = len(g.resident)
+	g.resIdx.put(key, len(g.resident))
 	g.resident = append(g.resident, key)
+	g.nResident.Add(1)
 }
 
 func (g *Generic) removeResident(key resKey) {
-	i, ok := g.resIdx[key]
+	i, ok := g.resIdx.get(key)
 	if !ok {
 		return
 	}
+	g.nResident.Add(-1)
 	last := len(g.resident) - 1
 	g.resident[i] = g.resident[last]
 	g.resident = g.resident[:last]
-	delete(g.resIdx, key)
+	g.resIdx.del(key)
 	if i < len(g.resident) {
-		g.resIdx[g.resident[i]] = i
+		g.resIdx.put(g.resident[i], i)
 	}
 	if g.hand > last {
 		g.hand = 0
@@ -630,6 +644,7 @@ func (g *Generic) evict(key resKey, flags kernel.PageFlags) error {
 		g.freeSlots = append(g.freeSlots, freeSlot{slot: slot, from: key, recall: true})
 		g.recallIdx[key] = len(g.freeSlots) - 1
 	}
+	g.nFree.Add(1)
 	g.stats.Reclaims++
 	return nil
 }
@@ -639,7 +654,7 @@ func (g *Generic) evict(key resKey, flags kernel.PageFlags) error {
 // it for policies like whole-structure discards.
 func (g *Generic) EvictPage(seg *kernel.Segment, page int64) error {
 	key := resKey{seg: seg, page: page}
-	if _, ok := g.resIdx[key]; !ok {
+	if _, ok := g.resIdx.get(key); !ok {
 		return fmt.Errorf("manager %s: page %d of %v not resident", g.cfg.Name, page, seg)
 	}
 	flags, _ := seg.Flags(page)
@@ -680,19 +695,42 @@ func (g *Generic) ReturnFreeFrames(n int) (int, error) {
 }
 
 // SegmentDeleted implements kernel.Manager: reclaim all frames of the
-// segment into the free list, unassociated (the data is dead).
+// segment into the free list, unassociated (the data is dead). The whole
+// segment comes home as one batched migration; on a batch error it falls
+// back to page-at-a-time and keeps whatever it can.
 func (g *Generic) SegmentDeleted(s *kernel.Segment) {
-	for _, p := range s.Pages() {
-		slots := g.ReceiveSlots(1)
+	pages := s.Pages()
+	if len(pages) > 0 {
+		const clear = kernel.FlagRW | kernel.FlagDirty | kernel.FlagReferenced
+		slots := g.ReceiveSlots(len(pages))
 		g.stats.MigrateCalls++
-		if err := g.k.MigratePages(kernel.AppCred, s, g.free, p, slots[0], 1, 0,
-			kernel.FlagRW|kernel.FlagDirty|kernel.FlagReferenced); err != nil {
-			// The kernel will sweep anything we leave; nothing to do.
-			continue
+		ranges := kernel.CoalesceRanges(pages, slots)
+		if err := g.k.MigratePagesBatch(kernel.AppCred, s, g.free, ranges, 0, clear); err == nil {
+			for i, p := range pages {
+				g.removeResident(resKey{seg: s, page: p})
+				g.freeSlots = append(g.freeSlots, freeSlot{slot: slots[i]})
+				g.nFree.Add(1)
+			}
+		} else {
+			for i, p := range pages {
+				if s.HasPage(p) {
+					g.stats.MigrateCalls++
+					if err := g.k.MigratePages(kernel.AppCred, s, g.free, p, slots[i], 1, 0, clear); err != nil {
+						// The kernel will sweep anything we leave; the
+						// unused slot stays receivable.
+						g.emptySlots = append(g.emptySlots, slots[i])
+						continue
+					}
+				}
+				// Else: already migrated into slots[i] before the batch
+				// (or its unbatched fallback) stopped.
+				g.removeResident(resKey{seg: s, page: p})
+				g.freeSlots = append(g.freeSlots, freeSlot{slot: slots[i]})
+				g.nFree.Add(1)
+			}
 		}
-		g.removeResident(resKey{seg: s, page: p})
-		g.freeSlots = append(g.freeSlots, freeSlot{slot: slots[0]})
 	}
+	g.resIdx.dropSeg(s)
 	delete(g.managed, s.ID())
 }
 
@@ -703,7 +741,7 @@ func (g *Generic) SegmentDeleted(s *kernel.Segment) {
 func (g *Generic) DropSegmentPages(seg *kernel.Segment) error {
 	for _, p := range seg.Pages() {
 		key := resKey{seg: seg, page: p}
-		if _, ok := g.resIdx[key]; !ok {
+		if _, ok := g.resIdx.get(key); !ok {
 			continue
 		}
 		flags, _ := seg.Flags(p)

@@ -169,22 +169,37 @@ func (m *MultiPool) stealInto(g *Generic, n int, constraint phys.Range) (int, er
 		if _, err := donor.Reclaim(n-moved, constraint); err != nil {
 			return moved, err
 		}
-		// Move admitting donor free frames into g.
-		for i := 0; moved < n && i < len(donor.freeSlots); {
+		// Collect admitting donor free frames, then move them all as one
+		// batched migration instead of a kernel call per frame.
+		var take []int64
+		for i := 0; moved+len(take) < n && i < len(donor.freeSlots); i++ {
 			fs := donor.freeSlots[i]
-			if !constraint.Admits(donor.free.FrameAt(fs.slot)) {
-				i++
-				continue
+			if constraint.Admits(donor.free.FrameAt(fs.slot)) {
+				take = append(take, fs.slot)
 			}
-			slots := g.ReceiveSlots(1)
-			if err := m.k.MigratePages(kernel.AppCred, donor.free, g.free, fs.slot, slots[0], 1, 0, 0); err != nil {
-				return moved, err
-			}
-			donor.removeFreeSlotAt(i)
-			donor.emptySlots = append(donor.emptySlots, fs.slot)
-			g.freeSlots = append(g.freeSlots, freeSlot{slot: slots[0]})
-			moved++
 		}
+		if len(take) == 0 {
+			continue
+		}
+		slots := g.ReceiveSlots(len(take))
+		ranges := kernel.CoalesceRanges(take, slots)
+		if err := m.k.MigratePagesBatch(kernel.AppCred, donor.free, g.free, ranges, 0, 0); err != nil {
+			return moved, err
+		}
+		for _, t := range take {
+			for i, fs := range donor.freeSlots {
+				if fs.slot == t {
+					donor.removeFreeSlotAt(i)
+					break
+				}
+			}
+			donor.emptySlots = append(donor.emptySlots, t)
+		}
+		for _, s := range slots {
+			g.freeSlots = append(g.freeSlots, freeSlot{slot: s})
+			g.nFree.Add(1)
+		}
+		moved += len(take)
 	}
 	return moved, nil
 }

@@ -1,0 +1,90 @@
+package manager
+
+import "epcm/internal/kernel"
+
+// residentIndex maps (segment, page) -> position in Generic.resident.
+//
+// It replaces a map[resKey]int: addResident runs once per fault on the
+// delivery plane's hot path, and hashing the 16-byte struct key — plus the
+// incremental rehashing as the map grew with the working set — measured at
+// roughly a tenth of a fault-plane run. A manager's resident pages cluster
+// in a dense run from page 0 of a handful of segments (the same shape the
+// kernel's pageStore exploits), so the index is a small per-segment map
+// over dense position slices, with a sparse map spill for far-out pages.
+type residentIndex struct {
+	bySeg map[*kernel.Segment]*posSlots
+}
+
+// posSlots holds one segment's page -> position mapping. Positions are
+// stored +1 so the zero value of a dense cell means "absent".
+type posSlots struct {
+	dense  []int32         // pages [0, len(dense))
+	sparse map[int64]int32 // pages beyond the dense prefix
+}
+
+const (
+	// posDenseDirect is the page number below which the dense slice always
+	// grows to cover a put (at most 16 KB per segment).
+	posDenseDirect = 4096
+	// posDenseMax caps dense growth, mirroring pageStore's bound.
+	posDenseMax = 1 << 21
+)
+
+func newResidentIndex() residentIndex {
+	return residentIndex{bySeg: make(map[*kernel.Segment]*posSlots)}
+}
+
+func (x *residentIndex) get(k resKey) (int, bool) {
+	ps, ok := x.bySeg[k.seg]
+	if !ok {
+		return 0, false
+	}
+	if uint64(k.page) < uint64(len(ps.dense)) {
+		v := ps.dense[k.page]
+		return int(v) - 1, v != 0
+	}
+	v, ok := ps.sparse[k.page]
+	return int(v) - 1, ok
+}
+
+func (x *residentIndex) put(k resKey, pos int) {
+	ps, ok := x.bySeg[k.seg]
+	if !ok {
+		ps = &posSlots{}
+		x.bySeg[k.seg] = ps
+	}
+	if uint64(k.page) < uint64(len(ps.dense)) {
+		ps.dense[k.page] = int32(pos) + 1
+		return
+	}
+	if k.page >= 0 && k.page < posDenseMax &&
+		(k.page < posDenseDirect || k.page < int64(2*len(ps.dense))) {
+		for int64(len(ps.dense)) <= k.page {
+			ps.dense = append(ps.dense, 0)
+		}
+		ps.dense[k.page] = int32(pos) + 1
+		return
+	}
+	if ps.sparse == nil {
+		ps.sparse = make(map[int64]int32)
+	}
+	ps.sparse[k.page] = int32(pos) + 1
+}
+
+func (x *residentIndex) del(k resKey) {
+	ps, ok := x.bySeg[k.seg]
+	if !ok {
+		return
+	}
+	if uint64(k.page) < uint64(len(ps.dense)) {
+		ps.dense[k.page] = 0
+		return
+	}
+	delete(ps.sparse, k.page)
+}
+
+// dropSeg releases a deleted segment's slab so the index does not retain
+// dense slices keyed by dead segments across create/delete churn.
+func (x *residentIndex) dropSeg(seg *kernel.Segment) {
+	delete(x.bySeg, seg)
+}

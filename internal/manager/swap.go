@@ -61,6 +61,7 @@ func (g *Generic) SwapOut(seg *kernel.Segment) (SwapStats, error) {
 		}
 		g.removeResident(resKey{seg: seg, page: p})
 		g.freeSlots = append(g.freeSlots, freeSlot{slot: slots[0]})
+		g.nFree.Add(1)
 		st.PagesOut++
 	}
 	return st, nil

@@ -1,0 +1,175 @@
+package phys
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// freeListStripes is the number of independently locked free-list shards.
+// Frames are striped by PFN *block* (runs of 64 consecutive frames land in
+// one stripe), so contiguous allocation still finds runs inside a single
+// stripe while allocators working different parts of the pool never touch
+// the same lock.
+const freeListStripes = 16
+
+const freeListBlockShift = 6 // 64-frame blocks
+
+// FreeList is a striped free-frame pool. Pop and Push on different stripes
+// never contend, which is what lets one manager's grant proceed while
+// another manager's return is in flight. Constraints are expressed as an
+// admit callback so the list stays independent of how callers model
+// placement (color, NUMA node, address ranges).
+type FreeList struct {
+	stripes [freeListStripes]freeStripe
+	rotor   atomic.Uint32 // start stripe for unconstrained pops
+}
+
+type freeStripe struct {
+	mu   sync.Mutex
+	pfns []int64 // LIFO
+}
+
+func stripeOf(pfn int64) int {
+	return int(uint64(pfn)>>freeListBlockShift) % freeListStripes
+}
+
+// NewFreeList builds a free list holding pfns, each filed under its home
+// stripe.
+func NewFreeList(pfns []int64) *FreeList {
+	f := &FreeList{}
+	for _, p := range pfns {
+		s := &f.stripes[stripeOf(p)]
+		s.pfns = append(s.pfns, p)
+	}
+	return f
+}
+
+// Pop removes and returns up to n frames admitted by admit (nil admits
+// everything). Unconstrained pops rotate their starting stripe so
+// concurrent allocators spread over the locks; constrained pops sweep all
+// stripes. The result may be shorter than n when the pool (or the admitted
+// subset) runs dry.
+func (f *FreeList) Pop(n int, admit func(pfn int64) bool) []int64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int64, 0, n)
+	start := int(f.rotor.Add(1)) % freeListStripes
+	for i := 0; i < freeListStripes && len(out) < n; i++ {
+		s := &f.stripes[(start+i)%freeListStripes]
+		s.mu.Lock()
+		if admit == nil {
+			for len(out) < n && len(s.pfns) > 0 {
+				last := len(s.pfns) - 1
+				out = append(out, s.pfns[last])
+				s.pfns = s.pfns[:last]
+			}
+		} else {
+			kept := s.pfns[:0]
+			for _, p := range s.pfns {
+				if len(out) < n && admit(p) {
+					out = append(out, p)
+				} else {
+					kept = append(kept, p)
+				}
+			}
+			s.pfns = kept
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Push files every frame back under its home stripe.
+func (f *FreeList) Push(pfns []int64) {
+	for _, p := range pfns {
+		s := &f.stripes[stripeOf(p)]
+		s.mu.Lock()
+		s.pfns = append(s.pfns, p)
+		s.mu.Unlock()
+	}
+}
+
+// Len reports the total number of free frames.
+func (f *FreeList) Len() int {
+	n := 0
+	for i := range f.stripes {
+		s := &f.stripes[i]
+		s.mu.Lock()
+		n += len(s.pfns)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot returns a copy of every free frame, for invariant checks and
+// contiguous-run searches. The copy is point-in-time consistent per stripe
+// only; callers that need all-or-nothing removal follow up with RemoveAll.
+func (f *FreeList) Snapshot() []int64 {
+	out := make([]int64, 0, 64)
+	for i := range f.stripes {
+		s := &f.stripes[i]
+		s.mu.Lock()
+		out = append(out, s.pfns...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// RemoveAll removes exactly the given frames from the pool, all or nothing:
+// if any frame is no longer free (a racing Pop took it), nothing is removed
+// and RemoveAll reports false. It locks the involved stripes in ascending
+// index order, so it cannot deadlock against itself or the single-stripe
+// operations.
+func (f *FreeList) RemoveAll(pfns []int64) bool {
+	if len(pfns) == 0 {
+		return true
+	}
+	byStripe := make(map[int][]int64, 4)
+	for _, p := range pfns {
+		i := stripeOf(p)
+		byStripe[i] = append(byStripe[i], p)
+	}
+	locked := make([]int, 0, len(byStripe))
+	for i := 0; i < freeListStripes; i++ {
+		if _, ok := byStripe[i]; ok {
+			f.stripes[i].mu.Lock()
+			locked = append(locked, i)
+		}
+	}
+	defer func() {
+		for _, i := range locked {
+			f.stripes[i].mu.Unlock()
+		}
+	}()
+	// Verify everything is present before removing anything.
+	for i, want := range byStripe {
+		have := make(map[int64]int, len(f.stripes[i].pfns))
+		for _, p := range f.stripes[i].pfns {
+			have[p]++
+		}
+		for _, p := range want {
+			if have[p] == 0 {
+				return false
+			}
+			have[p]--
+		}
+	}
+	for i, want := range byStripe {
+		drop := make(map[int64]int, len(want))
+		for _, p := range want {
+			drop[p]++
+		}
+		s := &f.stripes[i]
+		kept := s.pfns[:0]
+		for _, p := range s.pfns {
+			if drop[p] > 0 {
+				drop[p]--
+				continue
+			}
+			kept = append(kept, p)
+		}
+		s.pfns = kept
+	}
+	return true
+}

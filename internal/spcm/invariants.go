@@ -20,10 +20,9 @@ func (s *SPCM) CheckInvariants() error {
 	if err := s.k.CheckFrameConservation(); err != nil {
 		return fmt.Errorf("spcm invariant: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	seen := make(map[int64]bool, len(s.freePages))
-	for _, p := range s.freePages {
+	pool := s.free.Snapshot()
+	seen := make(map[int64]bool, len(pool))
+	for _, p := range pool {
 		if seen[p] {
 			return fmt.Errorf("spcm invariant: boot page %d pooled twice", p)
 		}
@@ -32,14 +31,22 @@ func (s *SPCM) CheckInvariants() error {
 			return fmt.Errorf("spcm invariant: pooled boot page %d not in boot segment", p)
 		}
 	}
+	s.regMu.RLock()
+	accts := make([]*Account, 0, len(s.order))
 	for _, g := range s.order {
-		a := s.accounts[g]
+		accts = append(accts, s.accounts[g])
+	}
+	s.regMu.RUnlock()
+	for _, a := range accts {
+		a.mu.Lock()
 		spent := a.rentPaid + a.taxPaid + a.ioPaid
 		diff := math.Abs(a.earned - spent - a.balance)
 		tol := 1e-6 * math.Max(1, math.Abs(a.earned))
+		name, earned, balance := a.name, a.earned, a.balance
+		a.mu.Unlock()
 		if diff > tol {
 			return fmt.Errorf("spcm invariant: account %q drams leak: earned %.9g != balance %.9g + spent %.9g (diff %.3g)",
-				a.name, a.earned, a.balance, spent, diff)
+				name, earned, balance, spent, diff)
 		}
 	}
 	return nil

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"epcm/internal/kernel"
@@ -66,12 +67,17 @@ func DefaultPolicy() Policy {
 	}
 }
 
-// Account is one client of the memory market.
+// Account is one client of the memory market. Each account carries its own
+// lock — the ledger's shard — so two managers settling, being charged or
+// requesting frames never touch a common mutex. Income is immutable after
+// Register; everything else is guarded by mu.
 type Account struct {
-	name       string
-	mgr        *manager.Generic
+	name   string
+	mgr    *manager.Generic
+	income float64 // drams per second; immutable
+
+	mu         sync.Mutex
 	balance    float64
-	income     float64 // drams per second
 	lastSettle time.Duration
 	ioPages    int64
 	// statistics
@@ -82,7 +88,11 @@ type Account struct {
 func (a *Account) Name() string { return a.name }
 
 // Balance returns the current dram balance (settle first for freshness).
-func (a *Account) Balance() float64 { return a.balance }
+func (a *Account) Balance() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.balance
+}
 
 // Income returns the account's income in drams per second.
 func (a *Account) Income() float64 { return a.income }
@@ -92,10 +102,26 @@ func (a *Account) Income() float64 { return a.income }
 func (a *Account) HeldPages() int { return a.mgr.FreeFrames() + a.mgr.ResidentPages() }
 
 // RentPaid, TaxPaid, IOPaid and Earned report lifetime totals.
-func (a *Account) RentPaid() float64 { return a.rentPaid }
-func (a *Account) TaxPaid() float64  { return a.taxPaid }
-func (a *Account) IOPaid() float64   { return a.ioPaid }
-func (a *Account) Earned() float64   { return a.earned }
+func (a *Account) RentPaid() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rentPaid
+}
+func (a *Account) TaxPaid() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.taxPaid
+}
+func (a *Account) IOPaid() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ioPaid
+}
+func (a *Account) Earned() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.earned
+}
 
 // Stats counts SPCM decisions.
 type Stats struct {
@@ -107,26 +133,32 @@ type Stats struct {
 	Revocations    int64 // accounts closed by manager revocation
 }
 
+type statCounters struct {
+	granted, refused, deferred, returned, forcedReclaims, revocations atomic.Int64
+}
+
 // SPCM is the system page cache manager.
 //
-// One mutex guards the whole ledger — free pool, accounts, demand and
-// decision counters — so managers running on separate goroutines (the
-// kernel's concurrent delivery scheduler) can request, return and be
-// charged concurrently. The lock is held across the grant's MigratePages
-// (SPCM → kernel is lock-ordered before segment locks) but never across a
-// call *into* a manager's reclaim path: Enforce releases it first, because
+// The ledger is sharded so managers running on separate goroutines (the
+// kernel's concurrent delivery scheduler) never rendezvous on a global
+// lock: each Account carries its own mutex for balance arithmetic, the
+// free pool is a striped phys.FreeList, unmet demand and decision counters
+// are atomics, and the registry (accounts, order, grant gate) sits behind
+// an RWMutex that the hot paths only read-lock. Lock ordering: registry
+// read-lock → account mutex → free-list stripe → kernel segment locks;
+// nothing is held across a call *into* a manager's reclaim path, because
 // reclamation re-enters the SPCM via ReturnFrames. SettleAll and Enforce
-// settle accounts against their managers' page counts, so they must run
-// from a quiescent control point (the market tick), not concurrently with
-// that manager's fault handling.
+// settle accounts against their managers' page counts, so they should run
+// from a control point (the market tick), not from inside that manager's
+// own fault handling.
 type SPCM struct {
 	k      *kernel.Kernel
 	clock  *sim.Clock
 	policy Policy
-	mu     sync.Mutex
-	// freePages are boot-segment page numbers (== PFNs) available to grant.
-	freePages []int64
-	accounts  map[*manager.Generic]*Account
+
+	// regMu guards the registry: accounts, order and grantGate.
+	regMu    sync.RWMutex
+	accounts map[*manager.Generic]*Account
 	// order lists accounts in registration order; SettleAll and Enforce
 	// iterate it instead of the accounts map so injected fault schedules
 	// (and their event logs) are byte-identical run to run.
@@ -134,11 +166,21 @@ type SPCM struct {
 	// grantGate, when set, may veto a frame grant — the fault plane's
 	// transient frame-exhaustion injection. A vetoed request is refused,
 	// not an error; the requesting manager falls back to reclamation.
+	// Gates are stateful (injection counters), so invocations are
+	// serialized by gateMu.
 	grantGate func(n int) bool
-	// outstanding demand drives the FreeWhenUncontended rule: number of
-	// frames requested but not granted since the last settle-all.
-	unmetDemand int
-	stats       Stats
+	gateMu    sync.Mutex
+
+	// free holds boot-segment page numbers (== PFNs) available to grant,
+	// striped by PFN block so grants and returns on different parts of the
+	// pool never contend.
+	free *phys.FreeList
+
+	// unmetDemand drives the FreeWhenUncontended rule: number of frames
+	// requested but not granted since the last settle-all.
+	unmetDemand atomic.Int64
+
+	stats statCounters
 }
 
 // pagesPerMB for the standard 4 KB frame.
@@ -155,22 +197,23 @@ func New(k *kernel.Kernel, policy Policy) *SPCM {
 		policy:   policy,
 		accounts: make(map[*manager.Generic]*Account),
 	}
-	s.freePages = k.BootSegment().Pages()
+	s.free = phys.NewFreeList(k.BootSegment().Pages())
 	return s
 }
 
 // FreeFrames reports the number of unallocated frames.
-func (s *SPCM) FreeFrames() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.freePages)
-}
+func (s *SPCM) FreeFrames() int { return s.free.Len() }
 
 // Stats returns a snapshot of decision counters.
 func (s *SPCM) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Granted:        s.stats.granted.Load(),
+		Refused:        s.stats.refused.Load(),
+		Deferred:       s.stats.deferred.Load(),
+		Returned:       s.stats.returned.Load(),
+		ForcedReclaims: s.stats.forcedReclaims.Load(),
+		Revocations:    s.stats.revocations.Load(),
+	}
 }
 
 // Policy returns the market policy.
@@ -179,8 +222,8 @@ func (s *SPCM) Policy() Policy { return s.policy }
 // Register opens an account for a manager. income <= 0 selects the policy
 // default. The manager's Config.Source should be this SPCM.
 func (s *SPCM) Register(g *manager.Generic, name string, income float64) *Account {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	if income <= 0 {
 		income = s.policy.DefaultIncome
 	}
@@ -193,23 +236,37 @@ func (s *SPCM) Register(g *manager.Generic, name string, income float64) *Accoun
 // SetGrantGate installs (or, with nil, removes) the grant gate consulted by
 // RequestFrames and RequestContiguous before frames are picked.
 func (s *SPCM) SetGrantGate(gate func(n int) bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	s.grantGate = gate
 }
 
 // Account returns the account of a registered manager.
 func (s *SPCM) Account(g *manager.Generic) (*Account, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
 	a, ok := s.accounts[g]
 	return a, ok
 }
 
-// settle brings one account's balance up to date: income accrues, rent is
-// charged for held memory (unless memory is uncontended and the policy
-// waives it), savings are taxed, and accumulated I/O is charged.
-func (s *SPCM) settle(a *Account) {
+// lookup resolves a manager's account and the current grant gate under the
+// registry read lock.
+func (s *SPCM) lookup(g *manager.Generic) (*Account, func(n int) bool, error) {
+	s.regMu.RLock()
+	a, ok := s.accounts[g]
+	gate := s.grantGate
+	s.regMu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
+	}
+	return a, gate, nil
+}
+
+// settleLocked brings one account's balance up to date: income accrues,
+// rent is charged for held memory (unless memory is uncontended and the
+// policy waives it), savings are taxed, and accumulated I/O is charged.
+// The caller holds a.mu.
+func (s *SPCM) settleLocked(a *Account) {
 	now := s.clock.Now()
 	dt := (now - a.lastSettle).Seconds()
 	a.lastSettle = now
@@ -218,7 +275,7 @@ func (s *SPCM) settle(a *Account) {
 		a.balance += earn
 		a.earned += earn
 		// Rent applies whenever contention exists or the waiver is off.
-		if !(s.policy.FreeWhenUncontended && s.unmetDemand == 0) {
+		if !(s.policy.FreeWhenUncontended && s.unmetDemand.Load() == 0) {
 			heldMB := float64(a.HeldPages()) / s.pagesPerMB()
 			rent := heldMB * s.policy.PricePerMBSecond * dt
 			a.balance -= rent
@@ -244,143 +301,174 @@ func (s *SPCM) settle(a *Account) {
 // SettleAll settles every account (periodic market tick), in registration
 // order for deterministic schedules.
 func (s *SPCM) SettleAll() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, g := range s.order {
-		s.settle(s.accounts[g])
+	s.regMu.RLock()
+	order := append([]*manager.Generic(nil), s.order...)
+	accounts := make([]*Account, len(order))
+	for i, g := range order {
+		accounts[i] = s.accounts[g]
+	}
+	s.regMu.RUnlock()
+	for _, a := range accounts {
+		a.mu.Lock()
+		s.settleLocked(a)
+		a.mu.Unlock()
 	}
 }
 
 // ChargeIO records n pages of I/O against a manager's account.
 func (s *SPCM) ChargeIO(g *manager.Generic, pages int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if a, ok := s.accounts[g]; ok {
-		a.ioPages += pages
+	s.regMu.RLock()
+	a, ok := s.accounts[g]
+	s.regMu.RUnlock()
+	if !ok {
+		return
 	}
+	a.mu.Lock()
+	a.ioPages += pages
+	a.mu.Unlock()
+}
+
+// subDemand decrements unmet demand by n, clamping at zero.
+func (s *SPCM) subDemand(n int64) {
+	for {
+		cur := s.unmetDemand.Load()
+		if cur == 0 {
+			return
+		}
+		next := cur - n
+		if next < 0 {
+			next = 0
+		}
+		if s.unmetDemand.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// vetoed consults the grant gate, serializing stateful injectors.
+func (s *SPCM) vetoed(gate func(n int) bool, n int) bool {
+	if gate == nil {
+		return false
+	}
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	return !gate(n)
 }
 
 // RequestFrames implements manager.FrameSource: grant, defer or refuse.
 // Requests from insolvent accounts are refused; otherwise up to n frames
 // satisfying the constraint are granted (fewer than n is the paper's
 // "allocates and provides as many page frames as it can or is willing to").
+// The picked frames migrate into the manager's free segment as one batched
+// kernel call; on a migration error the whole grant is rolled back into
+// the free pool.
 func (s *SPCM) RequestFrames(g *manager.Generic, n int, constraint phys.Range) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[g]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
+	a, gate, err := s.lookup(g)
+	if err != nil {
+		return 0, err
 	}
-	s.settle(a)
-	if a.balance < s.policy.MinGrantBalance {
-		s.stats.Refused++
-		s.unmetDemand += n
+	a.mu.Lock()
+	s.settleLocked(a)
+	insolvent := a.balance < s.policy.MinGrantBalance
+	a.mu.Unlock()
+	if insolvent {
+		s.stats.refused.Add(1)
+		s.unmetDemand.Add(int64(n))
 		return 0, nil
 	}
-	if s.grantGate != nil && !s.grantGate(n) {
+	if s.vetoed(gate, n) {
 		// Injected transient exhaustion: the pool acts empty for this
 		// request; the manager falls back to local reclamation.
-		s.stats.Refused++
-		s.unmetDemand += n
+		s.stats.refused.Add(1)
+		s.unmetDemand.Add(int64(n))
 		return 0, nil
 	}
-	picked := s.pickFrames(n, constraint)
+	var admit func(pfn int64) bool
+	if constraint.Constrained() {
+		admit = func(pfn int64) bool {
+			return constraint.Admits(s.k.Mem().Frame(phys.PFN(pfn)))
+		}
+	}
+	picked := s.free.Pop(n, admit)
 	if len(picked) < n {
-		s.stats.Deferred++
-		s.unmetDemand += n - len(picked)
+		s.stats.deferred.Add(1)
+		s.unmetDemand.Add(int64(n - len(picked)))
 	}
 	if len(picked) == 0 {
 		return 0, nil
 	}
 	slots := g.ReceiveSlots(len(picked))
-	for i, bootPage := range picked {
-		if err := s.k.MigratePages(kernel.SystemCred, s.k.BootSegment(), g.FreeSegment(),
-			bootPage, slots[i], 1, 0, 0); err != nil {
-			// Roll the unmigrated remainder back into the free pool.
-			s.freePages = append(s.freePages, picked[i:]...)
-			g.FramesGranted(slots[:i])
-			s.stats.Granted += int64(i)
-			return i, err
-		}
+	ranges := kernel.CoalesceRanges(picked, slots)
+	if err := s.k.MigratePagesBatch(kernel.SystemCred, s.k.BootSegment(), g.FreeSegment(),
+		ranges, 0, 0); err != nil {
+		s.free.Push(picked)
+		return 0, err
 	}
 	g.FramesGranted(slots)
-	s.stats.Granted += int64(len(picked))
+	s.stats.granted.Add(int64(len(picked)))
 	return len(picked), nil
-}
-
-// pickFrames removes up to n free boot pages satisfying the constraint.
-func (s *SPCM) pickFrames(n int, constraint phys.Range) []int64 {
-	var picked []int64
-	if !constraint.Constrained() {
-		for len(picked) < n && len(s.freePages) > 0 {
-			last := len(s.freePages) - 1
-			picked = append(picked, s.freePages[last])
-			s.freePages = s.freePages[:last]
-		}
-		return picked
-	}
-	kept := s.freePages[:0]
-	for _, p := range s.freePages {
-		if len(picked) < n && constraint.Admits(s.k.Mem().Frame(phys.PFN(p))) {
-			picked = append(picked, p)
-		} else {
-			kept = append(kept, p)
-		}
-	}
-	s.freePages = kept
-	return picked
 }
 
 // RequestContiguous grants a run of n physically contiguous frames (for
 // large pages via MigrateCoalesced). It returns the granted boot pages in
 // the target manager's free segment, or 0 if no run exists.
 func (s *SPCM) RequestContiguous(g *manager.Generic, n int) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[g]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
+	a, gate, err := s.lookup(g)
+	if err != nil {
+		return 0, err
 	}
-	s.settle(a)
-	if a.balance < s.policy.MinGrantBalance {
-		s.stats.Refused++
+	a.mu.Lock()
+	s.settleLocked(a)
+	insolvent := a.balance < s.policy.MinGrantBalance
+	a.mu.Unlock()
+	if insolvent {
+		s.stats.refused.Add(1)
 		return 0, nil
 	}
-	if s.grantGate != nil && !s.grantGate(n) {
-		s.stats.Refused++
-		s.unmetDemand += n
+	if s.vetoed(gate, n) {
+		s.stats.refused.Add(1)
+		s.unmetDemand.Add(int64(n))
 		return 0, nil
 	}
-	run := s.findRun(n)
-	if run < 0 {
-		s.stats.Deferred++
-		s.unmetDemand += n
-		return 0, nil
-	}
-	picked := make([]int64, n)
-	for i := 0; i < n; i++ {
-		picked[i] = run + int64(i)
-	}
-	s.removeFreePages(picked)
-	slots := g.ReceiveSlots(n)
-	for i, bootPage := range picked {
-		if err := s.k.MigratePages(kernel.SystemCred, s.k.BootSegment(), g.FreeSegment(),
-			bootPage, slots[i], 1, 0, 0); err != nil {
-			return i, err
+	// Snapshot → find run → remove all-or-nothing; a racing grant can
+	// steal part of the run between the snapshot and the removal, so retry
+	// a few times before reporting the pool fragmented.
+	for attempt := 0; attempt < 4; attempt++ {
+		run := findRun(s.free.Snapshot(), n)
+		if run < 0 {
+			break
 		}
+		picked := make([]int64, n)
+		for i := 0; i < n; i++ {
+			picked[i] = run + int64(i)
+		}
+		if !s.free.RemoveAll(picked) {
+			continue
+		}
+		slots := g.ReceiveSlots(n)
+		ranges := kernel.CoalesceRanges(picked, slots)
+		if err := s.k.MigratePagesBatch(kernel.SystemCred, s.k.BootSegment(), g.FreeSegment(),
+			ranges, 0, 0); err != nil {
+			s.free.Push(picked)
+			return 0, err
+		}
+		g.FramesGranted(slots)
+		s.stats.granted.Add(int64(n))
+		return n, nil
 	}
-	g.FramesGranted(slots)
-	s.stats.Granted += int64(n)
-	return n, nil
+	s.stats.deferred.Add(1)
+	s.unmetDemand.Add(int64(n))
+	return 0, nil
 }
 
-// findRun locates n consecutive free PFNs, returning the first or -1.
-func (s *SPCM) findRun(n int) int64 {
-	free := make(map[int64]bool, len(s.freePages))
-	for _, p := range s.freePages {
+// findRun locates n consecutive free PFNs in a pool snapshot, returning the
+// first PFN of the run or -1.
+func findRun(pool []int64, n int) int64 {
+	free := make(map[int64]bool, len(pool))
+	for _, p := range pool {
 		free[p] = true
 	}
-	for _, p := range s.freePages {
+	for _, p := range pool {
 		if free[p-1] {
 			continue // not a run start
 		}
@@ -395,47 +483,31 @@ func (s *SPCM) findRun(n int) int64 {
 	return -1
 }
 
-func (s *SPCM) removeFreePages(pages []int64) {
-	drop := make(map[int64]bool, len(pages))
-	for _, p := range pages {
-		drop[p] = true
-	}
-	kept := s.freePages[:0]
-	for _, p := range s.freePages {
-		if !drop[p] {
-			kept = append(kept, p)
-		}
-	}
-	s.freePages = kept
-}
-
 // ReturnFrames implements manager.FrameSource: frames come home to the
-// boot segment.
+// boot segment, as one batched migration.
 func (s *SPCM) ReturnFrames(g *manager.Generic, slots []int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.accounts[g]; !ok {
-		return fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
+	if _, _, err := s.lookup(g); err != nil {
+		return err
 	}
-	for _, slot := range slots {
+	if len(slots) == 0 {
+		return nil
+	}
+	pfns := make([]int64, len(slots))
+	for i, slot := range slots {
 		frame := g.FreeSegment().FrameAt(slot)
 		if frame == nil {
 			return fmt.Errorf("spcm: return of empty slot %d from %s", slot, g.ManagerName())
 		}
-		bootPage := int64(frame.PFN())
-		if err := s.k.MigratePages(kernel.SystemCred, g.FreeSegment(), s.k.BootSegment(),
-			slot, bootPage, 1, 0, kernel.FlagRW|kernel.FlagDirty|kernel.FlagReferenced|kernel.FlagDiscardable); err != nil {
-			return err
-		}
-		s.freePages = append(s.freePages, bootPage)
-		s.stats.Returned++
+		pfns[i] = int64(frame.PFN())
 	}
-	if s.unmetDemand > 0 {
-		s.unmetDemand -= len(slots)
-		if s.unmetDemand < 0 {
-			s.unmetDemand = 0
-		}
+	ranges := kernel.CoalesceRanges(slots, pfns)
+	if err := s.k.MigratePagesBatch(kernel.SystemCred, g.FreeSegment(), s.k.BootSegment(),
+		ranges, 0, kernel.FlagRW|kernel.FlagDirty|kernel.FlagReferenced|kernel.FlagDiscardable); err != nil {
+		return err
 	}
+	s.free.Push(pfns)
+	s.stats.returned.Add(int64(len(slots)))
+	s.subDemand(int64(len(slots)))
 	return nil
 }
 
@@ -449,26 +521,38 @@ func (s *SPCM) ReturnFrames(g *manager.Generic, slots []int64) error {
 // enforcement of the others. Accounts are processed in registration order;
 // per-account errors are joined into the returned error.
 //
-// The ledger lock is released before each manager's reclaim runs: the
-// manager surrenders frames via ReturnFreeFrames, which re-enters the SPCM
-// through ReturnFrames and must be able to take the lock itself.
+// No SPCM-wide lock exists to hold: phase one settles each account under
+// its own mutex, and phase two calls into the managers' reclaim paths with
+// nothing held at all, so a manager surrendering frames re-enters the SPCM
+// through ReturnFrames without contending with other accounts' enforcement
+// or concurrent grants.
 func (s *SPCM) Enforce() (int, error) {
-	s.mu.Lock()
+	s.regMu.RLock()
+	order := append([]*manager.Generic(nil), s.order...)
+	accts := make([]*Account, len(order))
+	for i, g := range order {
+		accts[i] = s.accounts[g]
+	}
+	s.regMu.RUnlock()
+
 	type demand struct {
 		g     *manager.Generic
 		name  string
 		pages int
 	}
 	var work []demand
-	for _, g := range s.order {
-		a := s.accounts[g]
-		s.settle(a)
-		if a.balance >= 0 {
+	for i, g := range order {
+		a := accts[i]
+		a.mu.Lock()
+		s.settleLocked(a)
+		bal := a.balance
+		a.mu.Unlock()
+		if bal >= 0 {
 			continue
 		}
 		// Take back enough frames to make the account solvent for one
 		// second at current income, at least one.
-		deficitMB := (-a.balance + a.income) / s.policy.PricePerMBSecond
+		deficitMB := (-bal + a.income) / s.policy.PricePerMBSecond
 		pages := int(deficitMB * s.pagesPerMB())
 		if pages < 1 {
 			pages = 1
@@ -481,7 +565,6 @@ func (s *SPCM) Enforce() (int, error) {
 		}
 		work = append(work, demand{g: g, name: a.name, pages: pages})
 	}
-	s.mu.Unlock()
 
 	total := 0
 	var errs []error
@@ -507,9 +590,7 @@ func (s *SPCM) Enforce() (int, error) {
 		}
 		total += n
 	}
-	s.mu.Lock()
-	s.stats.ForcedReclaims += int64(total)
-	s.mu.Unlock()
+	s.stats.forcedReclaims.Add(int64(total))
 	return total, errors.Join(errs...)
 }
 
@@ -520,9 +601,9 @@ func (s *SPCM) Enforce() (int, error) {
 // already reassigned to the default manager. Returns the number of frames
 // repossessed.
 func (s *SPCM) Revoke(g *manager.Generic) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.Lock()
 	if _, ok := s.accounts[g]; !ok {
+		s.regMu.Unlock()
 		return 0, fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
 	}
 	delete(s.accounts, g)
@@ -532,22 +613,45 @@ func (s *SPCM) Revoke(g *manager.Generic) (int, error) {
 			break
 		}
 	}
-	s.stats.Revocations++
+	s.regMu.Unlock()
+	s.stats.revocations.Add(1)
+
 	free := g.FreeSegment()
+	slots := free.Pages()
+	clear := kernel.FlagRW | kernel.FlagDirty | kernel.FlagReferenced | kernel.FlagDiscardable | kernel.FlagPinned
 	n := 0
 	var firstErr error
-	for _, slot := range free.Pages() {
-		frame := free.FrameAt(slot)
-		bootPage := int64(frame.PFN())
-		if err := s.k.MigratePages(kernel.SystemCred, free, s.k.BootSegment(), slot, bootPage, 1, 0,
-			kernel.FlagRW|kernel.FlagDirty|kernel.FlagReferenced|kernel.FlagDiscardable|kernel.FlagPinned); err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
+	if len(slots) > 0 {
+		pfns := make([]int64, len(slots))
+		for i, slot := range slots {
+			pfns[i] = int64(free.FrameAt(slot).PFN())
 		}
-		s.freePages = append(s.freePages, bootPage)
-		n++
+		ranges := kernel.CoalesceRanges(slots, pfns)
+		if err := s.k.MigratePagesBatch(kernel.SystemCred, free, s.k.BootSegment(), ranges, 0, clear); err != nil {
+			// Repossession must tolerate partial failure; fall back to
+			// page-at-a-time and keep whatever comes home.
+			for i, slot := range slots {
+				if !free.HasPage(slot) {
+					// Already migrated before the batch (or its unbatched
+					// fallback) stopped.
+					s.free.Push(pfns[i : i+1])
+					n++
+					continue
+				}
+				if err := s.k.MigratePages(kernel.SystemCred, free, s.k.BootSegment(),
+					slot, pfns[i], 1, 0, clear); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+				s.free.Push(pfns[i : i+1])
+				n++
+			}
+		} else {
+			s.free.Push(pfns)
+			n = len(pfns)
+		}
 	}
 	if firstErr == nil {
 		// The free segment is empty; delete it. DeleteSegment would notify
@@ -557,12 +661,7 @@ func (s *SPCM) Revoke(g *manager.Generic) (int, error) {
 			firstErr = err
 		}
 	}
-	if s.unmetDemand > 0 {
-		s.unmetDemand -= n
-		if s.unmetDemand < 0 {
-			s.unmetDemand = 0
-		}
-	}
+	s.subDemand(int64(n))
 	return n, firstErr
 }
 
@@ -570,9 +669,9 @@ func (s *SPCM) Revoke(g *manager.Generic) (int, error) {
 // the account can afford to hold `pages` frames for `slice` of runtime,
 // given current balance and income. Zero means it can afford it now.
 func (s *SPCM) EstimateWait(a *Account, pages int, slice time.Duration) time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.settle(a)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s.settleLocked(a)
 	needMB := float64(pages) / s.pagesPerMB()
 	cost := needMB * s.policy.PricePerMBSecond * slice.Seconds()
 	if a.balance >= cost {
@@ -587,8 +686,4 @@ func (s *SPCM) EstimateWait(a *Account, pages int, slice time.Duration) time.Dur
 
 // Demand reports current unmet demand in frames (the §2.4 "queries to the
 // SPCM [to] determine the demand on memory").
-func (s *SPCM) Demand() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.unmetDemand
-}
+func (s *SPCM) Demand() int { return int(s.unmetDemand.Load()) }

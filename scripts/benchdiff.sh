@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# benchdiff.sh — run the perf-sensitive benchmarks and compare against a
+# saved baseline, benchstat-style but dependency-free (awk only).
+#
+# Usage:
+#   scripts/benchdiff.sh baseline            # record baseline.bench
+#   scripts/benchdiff.sh compare             # run again, print old vs new
+#   scripts/benchdiff.sh diff OLD.bench NEW.bench   # compare two files
+#
+# The benchmark set is the delivery plane's hot paths: the fault-path and
+# table harness benchmarks, the delivery-plane scaling benchmark, and the
+# batched-vs-per-page migrate pair. Comparison is per benchmark name on
+# ns/op; a change beyond +/-5% is flagged. The script never fails the
+# build — wall-clock numbers on shared machines are advisory (CI runs it
+# non-gating; the gating regression tracker is the virtual-cost model).
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+BASELINE=${BENCHDIFF_BASELINE:-benchdiff-baseline.bench}
+COUNT=${BENCHDIFF_COUNT:-3}
+
+run_benches() {
+    # best-of-N per benchmark comes from -count; keep each run short.
+    go test -bench='Harness' -benchtime=200x -count="$COUNT" -run='^$' .
+    go test -bench='DeliveryPlane' -benchtime=2x -count="$COUNT" -run='^$' ./internal/experiments
+    go test -bench='BatchMigrate' -benchtime=200x -count="$COUNT" -run='^$' ./internal/kernel
+}
+
+# min_ns_per_op FILE -> "name<TAB>min ns/op" per benchmark
+min_ns_per_op() {
+    awk '/^Benchmark/ && /ns\/op/ {
+        name=$1; sub(/-[0-9]+$/, "", name)
+        for (i = 2; i <= NF; i++) if ($(i) == "ns/op") v=$(i-1)
+        if (!(name in best) || v+0 < best[name]+0) best[name]=v
+    }
+    END { for (n in best) printf "%s\t%s\n", n, best[n] }' "$1" | sort
+}
+
+diff_files() {
+    local old=$1 new=$2
+    join -t "$(printf '\t')" <(min_ns_per_op "$old") <(min_ns_per_op "$new") |
+    awk -F '\t' 'BEGIN {
+        printf "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+    }
+    {
+        delta = ($2+0 > 0) ? ($3 - $2) / $2 * 100 : 0
+        flag = (delta > 5 || delta < -5) ? (delta > 0 ? "  <-- slower" : "  <-- faster") : ""
+        printf "%-40s %14.1f %14.1f %8.1f%%%s\n", $1, $2, $3, delta, flag
+    }'
+}
+
+case "${1:-compare}" in
+baseline)
+    run_benches | tee "$BASELINE"
+    echo "baseline saved to $BASELINE"
+    ;;
+compare)
+    if [[ ! -f "$BASELINE" ]]; then
+        echo "no baseline at $BASELINE; run: scripts/benchdiff.sh baseline" >&2
+        exit 1
+    fi
+    tmp=$(mktemp)
+    trap 'rm -f "$tmp"' EXIT
+    run_benches | tee "$tmp"
+    echo
+    diff_files "$BASELINE" "$tmp"
+    ;;
+diff)
+    diff_files "${2:?usage: benchdiff.sh diff OLD.bench NEW.bench}" "${3:?usage: benchdiff.sh diff OLD.bench NEW.bench}"
+    ;;
+*)
+    echo "usage: benchdiff.sh [baseline|compare|diff OLD NEW]" >&2
+    exit 2
+    ;;
+esac

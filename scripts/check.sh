@@ -36,5 +36,6 @@ go test -run='^$' -fuzz='^FuzzMailbox$' -fuzztime=10s ./internal/plane
 echo "== bench smoke (1 iteration) =="
 go test -bench=Harness -benchtime=1x -run='^$' .
 go test -bench=DeliveryPlane -benchtime=1x -run='^$' ./internal/experiments
+go test -bench=BatchMigrate -benchtime=1x -run='^$' ./internal/kernel
 
 echo "All checks passed."
