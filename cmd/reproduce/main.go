@@ -67,7 +67,17 @@ func main() {
 	batch := flag.Bool("batch", true, "use batched kernel operations (MigratePagesBatch/ModifyPageFlagsBatch)")
 	managersFlag := flag.String("managers", "1,4", "comma-separated manager counts for the -plane table")
 	scale := flag.Bool("scale", false, "run the wall-clock scale sweep (managers x scheduler x batch) and append it to BENCH_scale.json")
+	scaleDiff := flag.Bool("scalediff", false, "print a per-cell diff of the last two sweeps in BENCH_scale.json and exit")
 	flag.Parse()
+	if *scaleDiff {
+		out, err := experiments.DiffScaleSweeps("BENCH_scale.json")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(2)
+		}
+		os.Stdout.WriteString(out)
+		return
+	}
 	kernel.SetBatchOps(*batch)
 	if err := kernel.SetBootScheduler(*sched); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)

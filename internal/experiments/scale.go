@@ -21,6 +21,7 @@ import (
 type PlaneSweep struct {
 	GeneratedAt      string        `json:"generated_at"`
 	GoMaxProcs       int           `json:"gomaxprocs"`
+	NumCPU           int           `json:"num_cpu,omitempty"`
 	FaultsPerManager int           `json:"faults_per_manager"`
 	Note             string        `json:"note,omitempty"`
 	Runs             []PlaneResult `json:"runs"`
@@ -32,11 +33,13 @@ type PlaneSweep struct {
 	WallSpeedup4Mgr float64 `json:"wall_speedup_4mgr_concurrent_vs_serial,omitempty"`
 }
 
-// NewPlaneSweep stamps an empty sweep with the current time and GOMAXPROCS.
+// NewPlaneSweep stamps an empty sweep with the current time, GOMAXPROCS
+// and the host's CPU count.
 func NewPlaneSweep(faultsPerManager int, note string) *PlaneSweep {
 	return &PlaneSweep{
 		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
 		FaultsPerManager: faultsPerManager,
 		Note:             note,
 	}
@@ -95,7 +98,7 @@ func AppendBenchSweep(path, benchmark string, sweep *PlaneSweep) error {
 
 // scaleReps is how many times each sweep cell runs; the cell reports its
 // best run (wall clock on a shared host only ever errs slow).
-const scaleReps = 3
+const scaleReps = 5
 
 // ScaleSweep runs the full wall-clock scaling matrix: every manager count ×
 // serial/concurrent × batch on/off, sequentially (each cell toggles the
@@ -103,24 +106,55 @@ const scaleReps = 3
 // rendered report and the sweep for BENCH_scale.json.
 func ScaleSweep(faultsPerManager int, managers []int) (*Report, *PlaneSweep, error) {
 	if len(managers) == 0 {
-		managers = []int{1, 2, 4, 8}
+		managers = []int{1, 2, 4, 8, 16, 32}
 	}
 	if faultsPerManager <= 0 {
 		// Big enough that a cell's window (~100ms+) averages over GC cycles;
 		// short windows are bimodal depending on whether a cycle lands inside.
 		faultsPerManager = 32768
 	}
-	sweep := NewPlaneSweep(faultsPerManager, "scale sweep: managers x scheduler x batch, best of 3 runs per cell")
+	// Wall-clock scaling needs a processor per manager to mean anything:
+	// raise GOMAXPROCS to the widest cell for the duration of the sweep
+	// (restored after) and record what the host can actually back with
+	// hardware. On a host with fewer CPUs than managers the wide cells
+	// measure scheduling overhead, not parallel speedup — say so.
+	maxMgrs := 0
+	for _, n := range managers {
+		if n > maxMgrs {
+			maxMgrs = n
+		}
+	}
+	if runtime.GOMAXPROCS(0) < maxMgrs {
+		prev := runtime.GOMAXPROCS(maxMgrs)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	sweep := NewPlaneSweep(faultsPerManager,
+		fmt.Sprintf("scale sweep: managers x scheduler x batch, equal-work cells, best of %d runs per cell", scaleReps))
 	rep := &Report{Table: "scale"}
 	b := &bytes.Buffer{}
 	header(b, "Delivery-Plane Wall-Clock Scaling (not in paper; batching + sharding)")
-	fmt.Fprintf(b, "%-12s %9s %6s %10s %16s %16s\n",
-		"Scheduler", "Managers", "Batch", "Faults", "Model faults/s", "Wall faults/s")
+	fmt.Fprintf(b, "gomaxprocs=%d num_cpu=%d\n", sweep.GoMaxProcs, sweep.NumCPU)
+	if sweep.NumCPU < maxMgrs {
+		fmt.Fprintf(b, "warning: host has %d CPUs for up to %d managers; wide cells time-slice rather than run in parallel\n",
+			sweep.NumCPU, maxMgrs)
+	}
+	fmt.Fprintf(b, "%-12s %9s %6s %10s %16s %16s %13s\n",
+		"Scheduler", "Managers", "Batch", "Faults", "Model faults/s", "Wall faults/s", "Allocs/fault")
 	wall := map[string]float64{} // "sched/n/batch" -> wall faults/s
 	model := map[string]float64{}
 	for _, batch := range []bool{true, false} {
 		for _, sched := range []string{"serial", "concurrent"} {
 			for _, n := range managers {
+				// Every cell drives the same total fault count (4x the
+				// per-manager base), so cells differ only in how the work is
+				// divided among managers, not in the size of the combined
+				// working set. Without this, narrow cells measure the cache
+				// locality of a small footprint rather than the delivery
+				// plane, and the scaling curve is dominated by LLC fit.
+				fpm := 4 * faultsPerManager / n
+				if fpm < 1024 {
+					fpm = 1024
+				}
 				// Wall clock on a shared host is noisy; each cell keeps the
 				// best of scaleReps runs, the usual minimum-cost estimator.
 				var r *PlaneResult
@@ -128,7 +162,7 @@ func ScaleSweep(faultsPerManager int, managers []int) (*Report, *PlaneSweep, err
 					one, err := PlaneThroughput(PlaneOptions{
 						Scheduler:        sched,
 						Managers:         n,
-						FaultsPerManager: faultsPerManager,
+						FaultsPerManager: fpm,
 						NoBatch:          !batch,
 					})
 					if err != nil {
@@ -139,9 +173,9 @@ func ScaleSweep(faultsPerManager int, managers []int) (*Report, *PlaneSweep, err
 						r = one
 					}
 				}
-				fmt.Fprintf(b, "%-12s %9d %6v %10d %16.0f %16.0f\n",
+				fmt.Fprintf(b, "%-12s %9d %6v %10d %16.0f %16.0f %13.3f\n",
 					r.Scheduler, r.Managers, r.Batch, r.Faults,
-					r.ModelFaultsPerSec, r.WallFaultsPerSec)
+					r.ModelFaultsPerSec, r.WallFaultsPerSec, r.AllocsPerFault)
 				key := fmt.Sprintf("%s/%d/%v", sched, n, batch)
 				wall[key] = r.WallFaultsPerSec
 				model[key] = r.ModelFaultsPerSec
@@ -149,6 +183,23 @@ func ScaleSweep(faultsPerManager int, managers []int) (*Report, *PlaneSweep, err
 			}
 		}
 	}
+	// Monotonicity over the concurrent+batched row, 1 through 16 managers:
+	// the lock-free plane should never get slower as lanes are added.
+	prevW, mono := 0.0, true
+	for _, n := range managers {
+		if n > 16 {
+			break
+		}
+		w, ok := wall[fmt.Sprintf("concurrent/%d/true", n)]
+		if !ok {
+			continue
+		}
+		if w < prevW {
+			mono = false
+		}
+		prevW = w
+	}
+	fmt.Fprintf(b, "\nconcurrent+batched wall faults/s non-decreasing 1..16 managers: %v\n", mono)
 	if s, c := model["concurrent/1/true"], model["concurrent/4/true"]; s > 0 && c > 0 {
 		sweep.Scaling1To4 = c / s
 	}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// DiffScaleSweeps renders a per-cell comparison of the last two sweeps in a
+// BENCH_scale.json trajectory: wall faults/s and allocations per fault,
+// with deltas. With fewer than two sweeps it says so instead of failing —
+// the diff is a non-gating trend report, not an acceptance check.
+func DiffScaleSweeps(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	f := &benchFile{}
+	if err := json.Unmarshal(raw, f); err != nil {
+		return "", fmt.Errorf("experiments: %s: %w", path, err)
+	}
+	if len(f.Runs) > 0 {
+		// Legacy single-sweep layout counts as one sweep.
+		f.Sweeps = append([]*PlaneSweep{{
+			GeneratedAt: f.GeneratedAt,
+			GoMaxProcs:  f.GoMaxProcs,
+			Runs:        f.Runs,
+		}}, f.Sweeps...)
+	}
+	b := &bytes.Buffer{}
+	if len(f.Sweeps) < 2 {
+		fmt.Fprintf(b, "%s: %d sweep(s) recorded; need two to diff\n", path, len(f.Sweeps))
+		return b.String(), nil
+	}
+	old, cur := f.Sweeps[len(f.Sweeps)-2], f.Sweeps[len(f.Sweeps)-1]
+	fmt.Fprintf(b, "scale sweep diff: %s (gomaxprocs=%d) -> %s (gomaxprocs=%d)\n",
+		old.GeneratedAt, old.GoMaxProcs, cur.GeneratedAt, cur.GoMaxProcs)
+	fmt.Fprintf(b, "%-12s %9s %6s %14s %14s %8s %12s %12s\n",
+		"Scheduler", "Managers", "Batch", "old wall f/s", "new wall f/s", "delta",
+		"old allocs/f", "new allocs/f")
+
+	key := func(r PlaneResult) string {
+		return fmt.Sprintf("%s/%d/%v", r.Scheduler, r.Managers, r.Batch)
+	}
+	olds := map[string]PlaneResult{}
+	for _, r := range old.Runs {
+		olds[key(r)] = r
+	}
+	for _, r := range cur.Runs {
+		o, ok := olds[key(r)]
+		oldWall, oldAllocs, delta := "-", "-", "-"
+		if ok {
+			oldWall = fmt.Sprintf("%.0f", o.WallFaultsPerSec)
+			// Sweeps recorded before allocs-per-fault existed carry a zero;
+			// print "-" rather than claiming a perfect old number.
+			if o.AllocsPerFault > 0 {
+				oldAllocs = fmt.Sprintf("%.3f", o.AllocsPerFault)
+			}
+			if o.WallFaultsPerSec > 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(r.WallFaultsPerSec-o.WallFaultsPerSec)/o.WallFaultsPerSec)
+			}
+		}
+		fmt.Fprintf(b, "%-12s %9d %6v %14s %14.0f %8s %12s %12.3f\n",
+			r.Scheduler, r.Managers, r.Batch, oldWall, r.WallFaultsPerSec, delta,
+			oldAllocs, r.AllocsPerFault)
+	}
+	return b.String(), nil
+}

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -42,15 +43,43 @@ func SetBatchOps(on bool) { batchOps.Store(on) }
 // BatchOps reports whether batched kernel operations are enabled.
 func BatchOps() bool { return batchOps.Load() }
 
+// batchScratch is the reusable dedup state for multi-range batches; pooling
+// it keeps the batched grant path (hundreds of single-page ranges when the
+// granted frames are scattered) off the allocator.
+type batchScratch struct {
+	srcSeen map[int64]struct{}
+	dstSeen map[int64]struct{}
+}
+
+var batchScratchPool = sync.Pool{New: func() any {
+	return &batchScratch{
+		srcSeen: make(map[int64]struct{}, 64),
+		dstSeen: make(map[int64]struct{}, 64),
+	}
+}}
+
+func (sc *batchScratch) reset() {
+	clear(sc.srcSeen)
+	clear(sc.dstSeen)
+}
+
 // CoalesceRanges groups parallel source/destination page lists into the
 // fewest PageRanges: positions extend the current range only while both the
 // source and the destination pages stay consecutive. Callers use it to turn
 // per-page migrate loops into one batched call.
 func CoalesceRanges(src, dst []int64) []PageRange {
+	return CoalesceRangesInto(nil, src, dst)
+}
+
+// CoalesceRangesInto is CoalesceRanges appending into a caller-owned buffer
+// (passed with length zero) so steady-state callers reuse one allocation.
+func CoalesceRangesInto(ranges []PageRange, src, dst []int64) []PageRange {
 	if len(src) == 0 || len(src) != len(dst) {
 		return nil
 	}
-	ranges := make([]PageRange, 0, 4)
+	if ranges == nil {
+		ranges = make([]PageRange, 0, 4)
+	}
 	cur := PageRange{Page: src[0], To: dst[0], Pages: 1}
 	for i := 1; i < len(src); i++ {
 		if src[i] == cur.Page+cur.Pages && dst[i] == cur.To+cur.Pages {
@@ -109,20 +138,23 @@ func (k *Kernel) MigratePagesBatch(cred Cred, src, dst *Segment, ranges []PageRa
 		// The per-page presence checks above cannot see collisions between
 		// ranges of the same batch (two ranges naming one source page, or
 		// landing on one destination slot).
-		srcSeen := make(map[int64]struct{}, total)
-		dstSeen := make(map[int64]struct{}, total)
+		sc := batchScratchPool.Get().(*batchScratch)
+		sc.reset()
 		for _, r := range ranges {
 			for i := int64(0); i < r.Pages; i++ {
-				if _, dup := srcSeen[r.Page+i]; dup {
+				if _, dup := sc.srcSeen[r.Page+i]; dup {
+					batchScratchPool.Put(sc)
 					return pageError(ErrBadRange, src, r.Page+i)
 				}
-				srcSeen[r.Page+i] = struct{}{}
-				if _, dup := dstSeen[r.To+i]; dup {
+				sc.srcSeen[r.Page+i] = struct{}{}
+				if _, dup := sc.dstSeen[r.To+i]; dup {
+					batchScratchPool.Put(sc)
 					return pageError(ErrBadRange, dst, r.To+i)
 				}
-				dstSeen[r.To+i] = struct{}{}
+				sc.dstSeen[r.To+i] = struct{}{}
 			}
 		}
+		batchScratchPool.Put(sc)
 	}
 	for _, r := range ranges {
 		for i := int64(0); i < r.Pages; i++ {
@@ -146,12 +178,16 @@ func (k *Kernel) movePageQuiet(src, dst *Segment, srcPage, dstPage int64, set, c
 		k.frameOwner[f.PFN()] = dst.id
 		k.framePage[f.PFN()] = dstPage
 	}
-	srcKey := mapKey{src.id, srcPage}
-	dstKey := mapKey{dst.id, dstPage}
-	k.table.remove(srcKey)
-	k.tlb.invalidate(srcKey)
-	k.table.insert(dstKey, e)
-	k.tlb.install(dstKey)
+	if !k.stagingSkip(src) {
+		srcKey := mapKey{src.id, srcPage}
+		k.table.remove(srcKey)
+		k.tlb.invalidate(srcKey)
+	}
+	if !k.stagingSkip(dst) {
+		dstKey := mapKey{dst.id, dstPage}
+		k.table.insert(dstKey, e)
+		k.tlb.install(dstKey)
+	}
 }
 
 // ModifyPageFlagsBatch modifies page flags over every range as one kernel

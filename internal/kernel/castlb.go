@@ -1,0 +1,158 @@
+package kernel
+
+import (
+	"sync/atomic"
+)
+
+// casTLB is the lock-free software TLB the concurrent scheduler installs:
+// a set-associative array of packed atomic words. It replaces the 8-stripe
+// mutex TLB (sharded.go), which remains as the reference implementation;
+// the serial scheduler keeps the paper's fully-associative R3000 model
+// (tlb.go) so the golden output is untouched.
+//
+// Each entry is one uint64: a presence bit, 23 bits of segment ID, and 40
+// bits of page number. Install publishes the whole word with a store (or a
+// CAS into an empty way); invalidate CASes the word back to zero — no
+// entry is ever half-visible, so readers take no locks and free no memory
+// (nothing to reclaim: words, not pointers). Keys outside the packable
+// range are simply uncacheable: lookups miss and installs are no-ops,
+// which is valid TLB behaviour (the mapping table still serves them).
+//
+// Like the hardware it models, the TLB is set-associative here rather than
+// fully associative: a fully associative probe is a 64-entry scan per
+// access, unacceptable on a lock-free hot path. Sets of four ways with a
+// per-set round-robin rotor keep the probe O(4) while staying within the
+// configured entry budget.
+type casTLB struct {
+	sets  []casTLBSet
+	shift uint
+	stat  [casStatStripes]casTLBStatCell
+}
+
+const casTLBWays = 4
+
+type casTLBSet struct {
+	ways [casTLBWays]atomic.Uint64
+	rot  atomic.Uint32 // round-robin victim rotor
+	_    [28]byte
+}
+
+type casTLBStatCell struct {
+	hits, misses atomic.Int64
+	_            [48]byte
+}
+
+const (
+	casTLBPresent  = uint64(1) << 63
+	casTLBSegBits  = 23
+	casTLBPageBits = 40
+)
+
+func newCASTLB(entries int) *casTLB {
+	if entries < casTLBWays {
+		entries = casTLBWays
+	}
+	nsets := 1
+	for nsets*casTLBWays < entries {
+		nsets <<= 1
+	}
+	shift := uint(64)
+	for s := nsets; s > 1; s >>= 1 {
+		shift--
+	}
+	return &casTLB{sets: make([]casTLBSet, nsets), shift: shift}
+}
+
+// casTLBPack packs a key into one word, reporting false for keys outside
+// the representable range (those stay uncacheable).
+func casTLBPack(k mapKey) (uint64, bool) {
+	if uint64(k.seg) >= 1<<casTLBSegBits || k.page < 0 || k.page >= 1<<casTLBPageBits {
+		return 0, false
+	}
+	return casTLBPresent | uint64(k.seg)<<casTLBPageBits | uint64(k.page), true
+}
+
+func (t *casTLB) set(w uint64) (*casTLBSet, uint64) {
+	h := w * 0x9e3779b97f4a7c15
+	idx := h >> t.shift
+	return &t.sets[idx], idx
+}
+
+func (t *casTLB) lookup(k mapKey) bool {
+	w, ok := casTLBPack(k)
+	if !ok {
+		t.stat[0].misses.Add(1)
+		return false
+	}
+	s, idx := t.set(w)
+	for i := range s.ways {
+		if s.ways[i].Load() == w {
+			t.stat[idx&(casStatStripes-1)].hits.Add(1)
+			return true
+		}
+	}
+	t.stat[idx&(casStatStripes-1)].misses.Add(1)
+	return false
+}
+
+func (t *casTLB) install(k mapKey) {
+	w, ok := casTLBPack(k)
+	if !ok {
+		return
+	}
+	s, _ := t.set(w)
+	// One pass: resident check and empty-way claim together. The CAS is
+	// attempted only on a way observed empty, so a full set (the steady
+	// state under any working set larger than the TLB) costs four plain
+	// loads and one store, not four failed compare-and-swaps.
+	for i := range s.ways {
+		switch v := s.ways[i].Load(); {
+		case v == w:
+			return // already resident
+		case v == 0 && s.ways[i].CompareAndSwap(0, w):
+			return
+		}
+	}
+	s.ways[s.rot.Add(1)&(casTLBWays-1)].Store(w)
+}
+
+func (t *casTLB) invalidate(k mapKey) {
+	w, ok := casTLBPack(k)
+	if !ok {
+		return
+	}
+	s, _ := t.set(w)
+	for i := range s.ways {
+		if s.ways[i].Load() == w {
+			s.ways[i].CompareAndSwap(w, 0)
+			return
+		}
+	}
+}
+
+func (t *casTLB) invalidateSegment(seg SegID) {
+	for si := range t.sets {
+		s := &t.sets[si]
+		for i := range s.ways {
+			w := s.ways[i].Load()
+			if w != 0 && SegID(w>>casTLBPageBits&(1<<casTLBSegBits-1)) == seg {
+				s.ways[i].CompareAndSwap(w, 0)
+			}
+		}
+	}
+}
+
+func (t *casTLB) stats() (hits, misses int64) {
+	for i := range t.stat {
+		hits += t.stat[i].hits.Load()
+		misses += t.stat[i].misses.Load()
+	}
+	return
+}
+
+func (t *casTLB) resetStats() {
+	for i := range t.stat {
+		t.stat[i].hits.Store(0)
+		t.stat[i].misses.Store(0)
+	}
+}

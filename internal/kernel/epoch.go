@@ -1,0 +1,204 @@
+package kernel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Epoch-based reclamation for the lock-free mapping table (castable.go).
+//
+// The CAS table publishes immutable boxes through atomic slot pointers.
+// When a box is unlinked (replaced, tombstoned, or displaced) some reader
+// may still hold the pointer it loaded a moment earlier, so the box cannot
+// be recycled immediately. Instead the unlinker retires it into a limbo
+// list stamped with the current epoch; a box only moves to the free list
+// once every active reader is provably past the epoch it was retired in.
+//
+// The scheme is the classic three-epoch one:
+//
+//   - Readers pin before probing: they claim one of ebrSlots per-CPU-ish
+//     slots and record the global epoch there; unpin clears the slot.
+//   - Retired boxes go to limbo[epoch%3] of a striped pool.
+//   - The epoch advances from E to E+1 only when every pin slot is idle or
+//     records E itself. At that instant, boxes in limbo[(E+1)%3] were
+//     retired at epoch <= E-2 (the global never exceeded E), and any reader
+//     holding one pinned at epoch <= E-2 — two successful advances ago, so
+//     it has since unpinned. Those boxes move to the free list.
+//
+// Recycling matters beyond safety: a page migration is remove+insert, i.e.
+// two boxes per fault, and the scale sweep's zero-allocations-per-fault
+// budget only holds if boxes circulate instead of being garbage.
+const (
+	ebrSlots = 64 // reader pin slots (power of two)
+	ebrPools = 8  // striped box pools (power of two)
+)
+
+type ebrSlot struct {
+	// state is 0 while idle and (epoch<<1)|1 while a reader is pinned.
+	state atomic.Uint64
+	_     [56]byte // one slot per cache line
+}
+
+type ebrPool struct {
+	mu    sync.Mutex
+	free  *casBox    // recycled boxes, chained through casBox.next
+	limbo [3]*casBox // retired boxes by retire-epoch mod 3
+	// slab is the bump allocator backing fresh boxes: one make per
+	// ebrSlabBoxes boxes, so live-set growth (a resident page's box is never
+	// retired) costs 1/ebrSlabBoxes of a heap allocation per insert instead
+	// of one.
+	slab    []casBox
+	slabPos int
+}
+
+// ebrSlabBoxes is the bump-allocation chunk size; at ~40 bytes a box a chunk
+// is a few pages, small enough to waste nothing and large enough that chunk
+// allocation vanishes from per-fault counts.
+const ebrSlabBoxes = 1024
+
+type ebr struct {
+	global atomic.Uint64
+	slots  [ebrSlots]ebrSlot
+	pools  [ebrPools]ebrPool
+	// advanceMu serializes epoch advancement; pin/unpin/retire never take it.
+	advanceMu sync.Mutex
+	allocs    atomic.Int64 // fresh boxes created (pool misses)
+	recycles  atomic.Int64 // boxes served from a free list
+}
+
+// pin claims a reader slot, recording the current epoch, and returns the
+// slot index for unpin. h seeds the slot probe so concurrent readers spread
+// across slots instead of fighting over slot zero.
+func (e *ebr) pin(h uint64) int {
+	i := int(h) & (ebrSlots - 1)
+	for spins := 0; ; spins++ {
+		cur := e.global.Load()
+		if e.slots[i].state.CompareAndSwap(0, cur<<1|1) {
+			return i
+		}
+		i = (i + 1) & (ebrSlots - 1)
+		if spins&(ebrSlots-1) == ebrSlots-1 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// unpin releases a slot claimed by pin. The release store is the
+// happens-before edge tryReclaim's slot loads synchronize with.
+func (e *ebr) unpin(i int) { e.slots[i].state.Store(0) }
+
+// retire queues an unlinked box for eventual recycling. The caller must
+// have already made the box unreachable from the table (the winning CAS);
+// the epoch is read after that point, so any reader still holding the box
+// pinned at an epoch no later than the recorded one.
+func (e *ebr) retire(b *casBox, h uint64) {
+	p := &e.pools[h&(ebrPools-1)]
+	epoch := e.global.Load()
+	p.mu.Lock()
+	b.next = p.limbo[epoch%3]
+	p.limbo[epoch%3] = b
+	p.mu.Unlock()
+}
+
+// alloc returns a box for publication: recycled when the epoch allows,
+// freshly bump-allocated otherwise. The returned box's key/entry are stale
+// and must be overwritten before the publishing CAS.
+//
+// Retire stripes by the removed key's hash and alloc by the inserted key's,
+// so one pool can sit on recycled boxes while another runs dry (a migration
+// removes from one segment and inserts into another); when the home pool
+// misses, alloc steals from the other stripes before giving up and bumping
+// the slab.
+func (e *ebr) alloc(h uint64) *casBox {
+	home := h & (ebrPools - 1)
+	p := &e.pools[home]
+	// One critical section covers both the home free list and the slab
+	// bump: the hot path (free list dry while the live set grows, or a
+	// recycled box available) pays one lock acquisition, not two.
+	p.mu.Lock()
+	if b := p.free; b != nil {
+		p.free = b.next
+		p.mu.Unlock()
+		b.next = nil
+		e.recycles.Add(1)
+		return b
+	}
+	if p.slabPos < len(p.slab) {
+		b := &p.slab[p.slabPos]
+		p.slabPos++
+		p.mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	for i := uint64(1); i < ebrPools; i++ {
+		if b := e.popFree(&e.pools[(home+i)&(ebrPools-1)]); b != nil {
+			return b
+		}
+	}
+	if e.tryReclaim() {
+		if b := e.popFree(p); b != nil {
+			return b
+		}
+	}
+	p.mu.Lock()
+	if p.slabPos == len(p.slab) {
+		p.slab = make([]casBox, ebrSlabBoxes)
+		p.slabPos = 0
+		e.allocs.Add(1)
+	}
+	b := &p.slab[p.slabPos]
+	p.slabPos++
+	p.mu.Unlock()
+	return b
+}
+
+func (e *ebr) popFree(p *ebrPool) *casBox {
+	p.mu.Lock()
+	b := p.free
+	if b != nil {
+		p.free = b.next
+	}
+	p.mu.Unlock()
+	if b != nil {
+		b.next = nil
+		e.recycles.Add(1)
+	}
+	return b
+}
+
+// tryReclaim attempts one epoch advance, moving now-safe limbo boxes to the
+// free lists. It reports whether any box was reclaimed. The advance is
+// legal only when every pin slot is idle or pinned at the current epoch:
+// together with the monotone global counter that proves no reader from two
+// epochs ago is still active, so limbo[(E+1)%3] is unreferenced.
+func (e *ebr) tryReclaim() bool {
+	e.advanceMu.Lock()
+	defer e.advanceMu.Unlock()
+	cur := e.global.Load()
+	for i := range e.slots {
+		st := e.slots[i].state.Load()
+		if st != 0 && st>>1 != cur {
+			return false // a reader from an older epoch is still pinned
+		}
+	}
+	idx := (cur + 1) % 3
+	moved := false
+	for pi := range e.pools {
+		p := &e.pools[pi]
+		p.mu.Lock()
+		if b := p.limbo[idx]; b != nil {
+			tail := b
+			for tail.next != nil {
+				tail = tail.next
+			}
+			tail.next = p.free
+			p.free = b
+			p.limbo[idx] = nil
+			moved = true
+		}
+		p.mu.Unlock()
+	}
+	e.global.Store(cur + 1)
+	return moved
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"epcm/internal/phys"
 	"epcm/internal/sim"
@@ -148,6 +149,7 @@ func New(mem *phys.Memory, clock *sim.Clock, cost *sim.CostModel, cfg Config) *K
 	}
 	boot := k.newSegment("physmem", 1)
 	boot.restricted = true
+	boot.staging = true
 	// Batch-allocate the boot entries: one pageEntry and one frame-pointer
 	// slot per frame, in two allocations instead of 2×NumFrames.
 	n := mem.NumFrames()
@@ -290,7 +292,7 @@ func (k *Kernel) Lookup(id SegID) (*Segment, error) {
 func (k *Kernel) SetSegmentManager(s *Segment, m Manager) {
 	k.clock.Advance(k.cost.KernelCall)
 	s.mu.Lock()
-	s.manager = m
+	s.managerStore(m)
 	s.mu.Unlock()
 }
 
@@ -329,7 +331,7 @@ func (k *Kernel) DeleteSegment(cred Cred, s *Segment) error {
 		s.mu.Unlock()
 		return ErrNoSuchSegment
 	}
-	m := s.manager
+	m := s.managerLoad()
 	s.mu.Unlock()
 	k.clock.Advance(k.cost.KernelCall)
 	if m != nil {
@@ -395,6 +397,11 @@ func (k *Kernel) MigratePages(cred Cred, src, dst *Segment, srcPage, dstPage, n 
 	for i := int64(0); i < n; i++ {
 		k.movePage(src, dst, srcPage+i, dstPage+i, set, clear)
 	}
+	// Charge the per-page costs once for the whole call: the totals are
+	// identical to charging inside movePage, and nothing reads the clock
+	// between the pages of one migration.
+	k.stats.MigratedPages.Add(n)
+	k.clock.Advance(time.Duration(n) * (k.cost.MigratePage + k.cost.MappingUpdate))
 	return nil
 }
 
@@ -411,6 +418,18 @@ func (k *Kernel) validateMigrate(cred Cred, src, dst *Segment, srcPage, dstPage,
 	return checkRange(dst, dstPage, n)
 }
 
+// stagingSkip reports whether mapping-cache and TLB maintenance can be
+// skipped for pages of s. Under the concurrent scheduler, staging segments
+// (boot, manager free pens) hold an invariant: no CAS table or TLB entry
+// ever names them — every fill INTO them is skipped (all insert sites gate
+// on this predicate), the concurrent tables start cold, and applications
+// never Access them. Removals FROM them are therefore guaranteed misses
+// and can be skipped symmetrically. The serial scheduler always returns
+// false so the paper's cache occupancy is untouched.
+func (k *Kernel) stagingSkip(s *Segment) bool {
+	return s.staging && k.sched.Concurrent()
+}
+
 // movePage transfers one page entry and charges the per-page cost. Both
 // segments' locks are held by the caller.
 func (k *Kernel) movePage(src, dst *Segment, srcPage, dstPage int64, set, clear PageFlags) {
@@ -422,17 +441,20 @@ func (k *Kernel) movePage(src, dst *Segment, srcPage, dstPage int64, set, clear 
 		k.frameOwner[f.PFN()] = dst.id
 		k.framePage[f.PFN()] = dstPage
 	}
-	srcKey := mapKey{src.id, srcPage}
-	dstKey := mapKey{dst.id, dstPage}
-	k.table.remove(srcKey)
-	k.tlb.invalidate(srcKey)
-	k.table.insert(dstKey, e)
-	// Prime the TLB for the destination: on a fault-driven migrate the
-	// kernel loads the translation for the faulting address before the
-	// application resumes, so the retried access does not miss again.
-	k.tlb.install(dstKey)
-	k.stats.MigratedPages.Add(1)
-	k.clock.Advance(k.cost.MigratePage + k.cost.MappingUpdate)
+	if !k.stagingSkip(src) {
+		srcKey := mapKey{src.id, srcPage}
+		k.table.remove(srcKey)
+		k.tlb.invalidate(srcKey)
+	}
+	if !k.stagingSkip(dst) {
+		dstKey := mapKey{dst.id, dstPage}
+		k.table.insert(dstKey, e)
+		// Prime the TLB for the destination: on a fault-driven migrate the
+		// kernel loads the translation for the faulting address before the
+		// application resumes, so the retried access does not miss again.
+		k.tlb.install(dstKey)
+	}
+	// Cost and stats are charged by the caller, once per migration call.
 }
 
 // MigrateCoalesced forms n large pages in dst (frames-per-page F) from
@@ -480,9 +502,11 @@ func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage
 			flags |= e.flags
 			frames = append(frames, e.frames...)
 			src.pages.del(sp)
-			key := mapKey{src.id, sp}
-			k.table.remove(key)
-			k.tlb.invalidate(key)
+			if !k.stagingSkip(src) {
+				key := mapKey{src.id, sp}
+				k.table.remove(key)
+				k.tlb.invalidate(key)
+			}
 			k.clock.Advance(k.cost.MigratePage + k.cost.MappingUpdate)
 			k.stats.MigratedPages.Add(1)
 		}
@@ -492,7 +516,9 @@ func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage
 			k.frameOwner[f.PFN()] = dst.id
 			k.framePage[f.PFN()] = dstPage + i
 		}
-		k.table.insert(mapKey{dst.id, dstPage + i}, ne)
+		if !k.stagingSkip(dst) {
+			k.table.insert(mapKey{dst.id, dstPage + i}, ne)
+		}
 	}
 	return nil
 }
@@ -524,16 +550,20 @@ func (k *Kernel) MigrateSplit(cred Cred, src, dst *Segment, srcPage, dstPage, n 
 	for i := int64(0); i < n; i++ {
 		e, _ := src.pages.get(srcPage + i)
 		src.pages.del(srcPage + i)
-		key := mapKey{src.id, srcPage + i}
-		k.table.remove(key)
-		k.tlb.invalidate(key)
+		if !k.stagingSkip(src) {
+			key := mapKey{src.id, srcPage + i}
+			k.table.remove(key)
+			k.tlb.invalidate(key)
+		}
 		for j, f := range e.frames {
 			dp := dstPage + i*factor + int64(j)
 			ne := &pageEntry{frames: []*phys.Frame{f}, flags: e.flags.Apply(set, clear)}
 			dst.pages.put(dp, ne)
 			k.frameOwner[f.PFN()] = dst.id
 			k.framePage[f.PFN()] = dp
-			k.table.insert(mapKey{dst.id, dp}, ne)
+			if !k.stagingSkip(dst) {
+				k.table.insert(mapKey{dst.id, dp}, ne)
+			}
 			k.clock.Advance(k.cost.MigratePage + k.cost.MappingUpdate)
 			k.stats.MigratedPages.Add(1)
 		}
@@ -679,12 +709,8 @@ func (k *Kernel) chargeReturn(d DeliveryMode) {
 // changed in between.
 func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
 	k.stats.Accesses.Add(1)
-	s.mu.Lock()
-	deleted := s.deleted
-	s.mu.Unlock()
-	if deleted {
-		return ErrNoSuchSegment
-	}
+	// The deleted check happens inside resolve's first hop, under the lock
+	// that hop takes anyway.
 	if page < 0 {
 		return fmt.Errorf("%w: access page %d", ErrBadRange, page)
 	}
@@ -752,11 +778,16 @@ func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
 			k.clock.Advance(k.cost.TLBFill)
 			if _, ok := k.table.lookup(key); !ok {
 				// Walk the segment and bound-region structures, then prime
-				// the hash table.
+				// the hash table. Staging segments are never primed (see
+				// stagingSkip); the charge is identical either way.
 				k.clock.Advance(2 * k.cost.MappingUpdate)
-				k.table.insert(key, e)
+				if !k.stagingSkip(rs) {
+					k.table.insert(key, e)
+				}
 			}
-			k.tlb.install(key)
+			if !k.stagingSkip(rs) {
+				k.tlb.install(key)
+			}
 		}
 		e.flags |= FlagReferenced
 		if access == Write {
@@ -792,12 +823,6 @@ func (k *Kernel) MarkAccessed(s *Segment, page int64, write bool) {
 // associated page frame causes a page fault event to be communicated to the
 // manager of the segment, as for a regular page fault").
 func (k *Kernel) FaultIn(s *Segment, page int64, access AccessType) error {
-	s.mu.Lock()
-	deleted := s.deleted
-	s.mu.Unlock()
-	if deleted {
-		return ErrNoSuchSegment
-	}
 	for attempt := 0; attempt <= k.cfg.MaxFaultRetries; attempt++ {
 		r, err := resolve(s, page)
 		if err != nil {

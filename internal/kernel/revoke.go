@@ -71,10 +71,10 @@ func (k *Kernel) Revoke(dead Manager) ([]*Segment, error) {
 	k.mu.RLock()
 	for _, s := range k.segs {
 		s.mu.Lock()
-		if s.manager == dead && !s.deleted {
+		if s.managerLoad() == dead && !s.deleted {
 			// The fallback path of SetSegmentManager, without charging the
 			// dead manager's process for a call it cannot make.
-			s.manager = k.defaultMgr
+			s.managerStore(k.defaultMgr)
 			adopted = append(adopted, s)
 		}
 		s.mu.Unlock()

@@ -266,6 +266,28 @@ type lane struct {
 	ring    *plane.Ring[delivery]
 	token   atomic.Bool
 	revoked atomic.Bool
+	// maint is the manager's optional idle hook (LaneMaintainer), resolved
+	// once at lane creation so the hot path pays no type assertion.
+	maint LaneMaintainer
+	// buf is the executor's drain batch. Only the token holder touches it,
+	// so it needs no synchronization.
+	buf [laneDrainBatch]plane.Envelope[delivery]
+}
+
+// laneDrainBatch is how many queued messages the executor pulls from the
+// ring per PopMany — one head publication amortized over the batch.
+const laneDrainBatch = 16
+
+// LaneMaintainer is an optional Manager extension. When a manager
+// implements it, the concurrent scheduler calls LaneIdle on the lane's
+// executor goroutine each time the lane goes quiet (ring drained, token
+// about to be released). The call is serialized with the manager's message
+// processing, so implementations may touch manager state freely; they
+// should be cheap when there is nothing to do, since the lane goes idle
+// after every fault burst. Generic uses it to batch-refill its free-slot
+// pool off the fault path.
+type LaneMaintainer interface {
+	LaneIdle()
 }
 
 // concurrentScheduler delivers by flat combining: the faulting goroutine
@@ -312,6 +334,9 @@ func (s *concurrentScheduler) laneOf(m Manager) *lane {
 		return v.(*lane)
 	}
 	ln := &lane{ring: plane.NewRing[delivery](laneRingCap)}
+	if lm, ok := m.(LaneMaintainer); ok {
+		ln.maint = lm
+	}
 	s.lanes.Store(m, ln)
 	return ln
 }
@@ -322,19 +347,23 @@ func (s *concurrentScheduler) laneOf(m Manager) *lane {
 // manager.
 func (s *concurrentScheduler) drainCells(ln *lane) {
 	for {
-		env, ok := ln.ring.Pop()
-		if !ok {
+		n := ln.ring.PopMany(ln.buf[:])
+		if n == 0 {
 			return
 		}
-		if ln.revoked.Load() {
-			if env.Msg.reply != nil {
-				env.Msg.reply <- nil
+		for i := 0; i < n; i++ {
+			env := ln.buf[i]
+			ln.buf[i] = plane.Envelope[delivery]{} // drop references early
+			if ln.revoked.Load() {
+				if env.Msg.reply != nil {
+					env.Msg.reply <- nil
+				}
+				continue
 			}
-			continue
-		}
-		err := s.k.process(env.Msg)
-		if env.Msg.reply != nil {
-			env.Msg.reply <- err
+			err := s.k.process(env.Msg)
+			if env.Msg.reply != nil {
+				env.Msg.reply <- err
+			}
 		}
 	}
 }
@@ -346,6 +375,10 @@ func (s *concurrentScheduler) drainCells(ln *lane) {
 func (s *concurrentScheduler) combine(ln *lane) {
 	for {
 		s.drainCells(ln)
+		if ln.maint != nil && !ln.revoked.Load() {
+			ln.maint.LaneIdle()
+			s.drainCells(ln) // anything posted while maintaining
+		}
 		ln.token.Store(false)
 		if ln.ring.Len() == 0 {
 			return
@@ -460,17 +493,27 @@ func (k *Kernel) Scheduler() Scheduler { return k.sched }
 
 // SetScheduler installs a scheduler, stopping any previous one. Installing
 // a concurrent scheduler also swaps the mapping hash table and TLB for
-// sharded, per-shard-locked variants; both are pure caches over the
-// authoritative segment page maps, so starting them cold is correct (it
-// only costs some extra virtual refill time).
+// lock-free CAS variants (castable.go, castlb.go); both are pure caches
+// over the authoritative segment page maps, so starting them cold is
+// correct (it only costs some extra virtual refill time). The sharded,
+// per-shard-locked variants remain in sharded.go as the reference
+// implementations the CAS tables are tested against.
 func (k *Kernel) SetScheduler(s Scheduler) {
 	if k.sched != nil {
 		k.sched.Stop()
 	}
 	k.sched = s
 	if s.Concurrent() {
-		k.table = newShardedTable()
-		k.tlb = newStripedTLB(k.cfg.TLBEntries)
+		// Size the table for the machine: every live mapping is a resident
+		// page owning at least one frame, so 2x the frame count keeps the
+		// load factor under 50% and the probe window effective. The default
+		// 64K floor matches the serial table.
+		slots := hashTableSlots
+		for slots < 2*k.mem.NumFrames() {
+			slots <<= 1
+		}
+		k.table = newCASTableSized(slots)
+		k.tlb = newCASTLB(k.cfg.TLBEntries)
 	}
 }
 
@@ -497,9 +540,7 @@ func SetBootScheduler(mode string) error {
 // deliverFault resolves the faulted segment's manager and hands the fault
 // to the scheduler.
 func (k *Kernel) deliverFault(f Fault) error {
-	f.Seg.mu.Lock()
-	m := f.Seg.manager
-	f.Seg.mu.Unlock()
+	m := f.Seg.managerLoad()
 	if m == nil {
 		return pageError(ErrNoManager, f.Seg, f.Page)
 	}

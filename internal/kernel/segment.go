@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"epcm/internal/phys"
 )
@@ -54,14 +55,51 @@ type Segment struct {
 	pageSize int // bytes; framesPerPage × machine frame size
 	fpp      int // frames per page
 	mu       sync.Mutex
-	manager  Manager
+	// manager is read on every fault delivery; it is an atomic cell so the
+	// hot path reads it without the segment lock. Writers (registration,
+	// revocation adoption) still hold mu to coordinate with each other.
+	manager  atomic.Pointer[managerCell]
 	pages    pageStore
 	bindings []*binding // sorted by start
 	// restricted segments accept MigratePages/ModifyPageFlags/data access
 	// only from privileged credentials (the boot frame segment).
 	restricted bool
-	deleted    bool
-	kernel     *Kernel
+	// staging marks kernel-held holding segments (the boot frame segment,
+	// a manager's free-page segment) whose pages applications never Access.
+	// The concurrent fault path skips mapping-cache and TLB fills for pages
+	// migrating INTO a staging segment: the entries could only ever be
+	// evicted, never hit, so skipping them halves the cache traffic of a
+	// grant+fault round trip without changing any charged cost. The serial
+	// scheduler ignores the flag — its cache occupancy (and thus eviction
+	// pattern) stays exactly the paper's.
+	staging bool
+	deleted bool
+	kernel  *Kernel
+}
+
+// MarkStaging flags s as a kernel-held staging segment (see the staging
+// field). Call it right after creation, before any pages migrate in.
+func (s *Segment) MarkStaging() { s.staging = true }
+
+// managerCell boxes the manager interface so it can live in an atomic
+// pointer (a nil cell pointer means "no manager").
+type managerCell struct{ m Manager }
+
+// managerLoad returns the segment's manager without taking the lock.
+func (s *Segment) managerLoad() Manager {
+	if c := s.manager.Load(); c != nil {
+		return c.m
+	}
+	return nil
+}
+
+// managerStore publishes a new manager. Callers hold s.mu.
+func (s *Segment) managerStore(m Manager) {
+	if m == nil {
+		s.manager.Store(nil)
+		return
+	}
+	s.manager.Store(&managerCell{m: m})
 }
 
 // ID returns the segment identifier.
@@ -78,9 +116,7 @@ func (s *Segment) FramesPerPage() int { return s.fpp }
 
 // Manager returns the segment's manager, or nil.
 func (s *Segment) Manager() Manager {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.manager
+	return s.managerLoad()
 }
 
 // Restricted reports whether the segment requires privileged credentials.
@@ -182,6 +218,12 @@ func resolve(s *Segment, page int64) (resolved, error) {
 			return r, fmt.Errorf("kernel: binding chain deeper than 16 at segment %q page %d", s.name, page)
 		}
 		r.seg.mu.Lock()
+		if depth == 0 && r.seg.deleted {
+			// The entry segment's deleted check rides on the lock this hop
+			// takes anyway, so Access/FaultIn need no pre-flight lock.
+			r.seg.mu.Unlock()
+			return r, ErrNoSuchSegment
+		}
 		present := r.seg.pages.has(r.page)
 		var b *binding
 		if !present {
@@ -244,6 +286,23 @@ func (s *Segment) FramesAt(page int64) []*phys.Frame {
 		return nil
 	}
 	return e.frames
+}
+
+// AppendFirstFrames appends the first frame backing each listed page to dst
+// (nil for absent pages) under one acquisition of the segment lock — the
+// batched form of FrameAt, for grant paths that would otherwise lock the
+// segment once per page.
+func (s *Segment) AppendFirstFrames(dst []*phys.Frame, pages []int64) []*phys.Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range pages {
+		if e, ok := s.pages.get(p); ok {
+			dst = append(dst, e.frames[0])
+		} else {
+			dst = append(dst, nil)
+		}
+	}
+	return dst
 }
 
 // String formats the segment for diagnostics. It deliberately takes no

@@ -46,7 +46,10 @@ type resKey struct {
 // if the application re-faults that page before the frame is reused, the
 // manager migrates it straight back — no fill, no I/O (§2.2).
 type freeSlot struct {
-	slot   int64
+	slot int64
+	// frame caches the slot's physical frame so the fill path does not
+	// re-take the free segment's lock per fault; nil means "fetch lazily".
+	frame  *phys.Frame
 	from   resKey // meaningful only when recall is set
 	recall bool   // false if the frame's contents are unassociated
 }
@@ -104,6 +107,13 @@ type Config struct {
 	// RequestBatch is how many frames to ask the source for when the free
 	// list runs dry (default 8).
 	RequestBatch int
+	// LanePrefetch, when positive, tops the free list back up to this many
+	// frames whenever the manager's delivery lane goes idle (the concurrent
+	// scheduler's LaneMaintainer hook), moving frame-source requests off
+	// the fault path. Zero disables the hook, keeping virtual-time totals
+	// identical to the paper's demand-request behaviour — the reproduce
+	// harness relies on that.
+	LanePrefetch int
 	// MaxRetries bounds how many times a transient storage error
 	// (storage.ErrTransient) is retried on the fill, writeback and swap
 	// paths. 0 disables retrying: every storage error propagates at once.
@@ -127,9 +137,12 @@ type Generic struct {
 	nextSlot   int64      // high-water mark for fresh slot numbers
 
 	resident  []resKey       // pages this manager has placed, clock order
-	resIdx    residentIndex  // page -> index in resident
+	resIdx    *residentIndex // page -> index in resident
 	recallIdx map[resKey]int // reclaimed page -> index in freeSlots
 	hand      int            // clock hand
+
+	// frameScratch is FramesGranted's reusable batch-lookup buffer.
+	frameScratch []*phys.Frame
 
 	// nFree/nResident mirror len(freeSlots)/len(resident) as atomics so
 	// the SPCM can read held-page counts (settle, Enforce sizing) while the
@@ -173,6 +186,7 @@ func NewGeneric(k *kernel.Kernel, cfg Config) (*Generic, error) {
 	if err != nil {
 		return nil, err
 	}
+	free.MarkStaging() // holding pen: applications never Access these pages
 	return &Generic{
 		k:         k,
 		cfg:       cfg,
@@ -276,11 +290,17 @@ func (g *Generic) CreateManagedSegment(name string) (*kernel.Segment, error) {
 // ReceiveSlots reserves n empty slots in the free-page segment for a frame
 // source to migrate frames into. Call FramesGranted after the migration.
 func (g *Generic) ReceiveSlots(n int) []int64 {
-	out := make([]int64, 0, n)
-	for len(out) < n {
-		out = append(out, g.receiveSlot())
+	return g.ReceiveSlotsAppend(make([]int64, 0, n), n)
+}
+
+// ReceiveSlotsAppend is ReceiveSlots appending into a caller-owned buffer,
+// so per-grant callers (the SPCM's request path) can reuse scratch space
+// instead of allocating per call.
+func (g *Generic) ReceiveSlotsAppend(dst []int64, n int) []int64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, g.receiveSlot())
 	}
-	return out
+	return dst
 }
 
 // receiveSlot is the single-slot form of ReceiveSlots, sparing the slice
@@ -297,13 +317,17 @@ func (g *Generic) receiveSlot() int64 {
 }
 
 // FramesGranted records that frames now occupy the given slots (after a
-// frame source migrated them in).
+// frame source migrated them in). The frames are resolved in one batched,
+// single-lock pass and cached on the free-slot entries, so the fill path
+// never re-locks the free segment per fault.
 func (g *Generic) FramesGranted(slots []int64) {
-	for _, s := range slots {
-		if !g.free.HasPage(s) {
+	g.frameScratch = g.free.AppendFirstFrames(g.frameScratch[:0], slots)
+	for i, s := range slots {
+		f := g.frameScratch[i]
+		if f == nil {
 			panic(fmt.Sprintf("manager %s: FramesGranted slot %d has no frame", g.cfg.Name, s))
 		}
-		g.freeSlots = append(g.freeSlots, freeSlot{slot: s})
+		g.freeSlots = append(g.freeSlots, freeSlot{slot: s, frame: f})
 		g.nFree.Add(1)
 		g.stats.Grants++
 	}
@@ -361,18 +385,21 @@ func (g *Generic) HandleFault(f kernel.Fault) error {
 func (g *Generic) PageIn(f kernel.Fault) error {
 	key := resKey{seg: f.Seg, page: f.Page}
 	// Fast re-fault: the page was reclaimed but its frame not yet reused —
-	// migrate it straight back (§2.2).
-	if i, ok := g.recallIdx[key]; ok && f.Kind == kernel.FaultMissing {
-		fs := g.freeSlots[i]
-		g.stats.MigrateCalls++
-		if err := g.k.MigratePages(kernel.AppCred, g.free, f.Seg, fs.slot, f.Page, 1, g.cfg.MapFlags, kernel.FlagReferenced|kernel.FlagDirty); err != nil {
-			return err
+	// migrate it straight back (§2.2). The len check spares the 16-byte
+	// struct-key map hash on the common path where nothing was reclaimed.
+	if len(g.recallIdx) > 0 {
+		if i, ok := g.recallIdx[key]; ok && f.Kind == kernel.FaultMissing {
+			fs := g.freeSlots[i]
+			g.stats.MigrateCalls++
+			if err := g.k.MigratePages(kernel.AppCred, g.free, f.Seg, fs.slot, f.Page, 1, g.cfg.MapFlags, kernel.FlagReferenced|kernel.FlagDirty); err != nil {
+				return err
+			}
+			g.removeFreeSlotAt(i)
+			g.emptySlots = append(g.emptySlots, fs.slot)
+			g.addResident(key)
+			g.stats.FastRefaults++
+			return nil
 		}
-		g.removeFreeSlotAt(i)
-		g.emptySlots = append(g.emptySlots, fs.slot)
-		g.addResident(key)
-		g.stats.FastRefaults++
-		return nil
 	}
 
 	var constraint phys.Range
@@ -390,7 +417,10 @@ func (g *Generic) PageIn(f kernel.Fault) error {
 	// Fill the frame while it is still in the free segment (the manager
 	// has the free segment mapped into its own address space, §2.2).
 	if f.Kind == kernel.FaultMissing {
-		frame := g.free.FrameAt(fs.slot)
+		frame := fs.frame
+		if frame == nil {
+			frame = g.free.FrameAt(fs.slot)
+		}
 		var fillErr error
 		if g.cfg.Fill != nil {
 			fillErr = g.cfg.Fill(f, frame)
@@ -430,13 +460,21 @@ func (g *Generic) PageIn(f kernel.Fault) error {
 // allocSlot picks a free slot whose frame satisfies the constraint,
 // requesting more frames or reclaiming if necessary.
 func (g *Generic) allocSlot(constraint phys.Range) (int, error) {
+	unconstrained := !constraint.Constrained()
 	for attempt := 0; attempt < 3; attempt++ {
 		// Prefer unassociated frames; break associations only if needed.
+		// The unconstrained case — every fault without a Constraint hook —
+		// skips the per-slot frame resolution entirely: any frame admits.
 		best := -1
 		for i, fs := range g.freeSlots {
-			frame := g.free.FrameAt(fs.slot)
-			if !constraint.Admits(frame) {
-				continue
+			if !unconstrained {
+				frame := fs.frame
+				if frame == nil {
+					frame = g.free.FrameAt(fs.slot)
+				}
+				if !constraint.Admits(frame) {
+					continue
+				}
 			}
 			if !fs.recall {
 				best = i
@@ -614,16 +652,19 @@ func (g *Generic) reclaimClock(n int, constraint phys.Range) (int, error) {
 // page keeps no association: its contents are dead, so a re-fault must go
 // back through the fill path.
 func (g *Generic) evict(key resKey, flags kernel.PageFlags) error {
+	// The frame rides along with the migration below; capturing it here
+	// keeps the free-slot entry's frame cache warm for the next fill.
+	frame := key.seg.FrameAt(key.page)
 	discarded := false
 	if flags.Has(kernel.FlagDirty) {
 		if flags.Has(kernel.FlagDiscardable) && !g.cfg.IgnoreDiscardable {
 			g.stats.Discards++
 			discarded = true
 		} else {
-			err := g.cfg.Backing.Writeback(key.seg, key.page, key.seg.FrameAt(key.page))
+			err := g.cfg.Backing.Writeback(key.seg, key.page, frame)
 			if err != nil {
 				if err = g.retryBacking(err, func() error {
-					return g.cfg.Backing.Writeback(key.seg, key.page, key.seg.FrameAt(key.page))
+					return g.cfg.Backing.Writeback(key.seg, key.page, frame)
 				}); err != nil {
 					return err
 				}
@@ -639,9 +680,9 @@ func (g *Generic) evict(key resKey, flags kernel.PageFlags) error {
 	}
 	g.removeResident(key)
 	if discarded {
-		g.freeSlots = append(g.freeSlots, freeSlot{slot: slot})
+		g.freeSlots = append(g.freeSlots, freeSlot{slot: slot, frame: frame})
 	} else {
-		g.freeSlots = append(g.freeSlots, freeSlot{slot: slot, from: key, recall: true})
+		g.freeSlots = append(g.freeSlots, freeSlot{slot: slot, frame: frame, from: key, recall: true})
 		g.recallIdx[key] = len(g.freeSlots) - 1
 	}
 	g.nFree.Add(1)
@@ -868,6 +909,42 @@ func (g *Generic) PageInContiguous(seg *kernel.Segment, startPage, n int64) (boo
 		g.addResident(resKey{seg: seg, page: startPage + i})
 	}
 	return true, nil
+}
+
+// PresizeResident sizes the resident bookkeeping for an expected working
+// set of n pages: the clock list's capacity and the resident index's dense
+// prefix are allocated up front, so a run that faults n pages in never
+// grows either on the fault path. Purely a capacity hint — behaviour is
+// unchanged.
+func (g *Generic) PresizeResident(n int) {
+	if n <= 0 {
+		return
+	}
+	if cap(g.resident) < n {
+		grown := make([]resKey, len(g.resident), n)
+		copy(grown, g.resident)
+		g.resident = grown
+	}
+	g.resIdx.presize(n)
+}
+
+var _ kernel.LaneMaintainer = (*Generic)(nil)
+
+// LaneIdle implements kernel.LaneMaintainer: when the manager's delivery
+// lane goes quiet and Config.LanePrefetch is set, top the free list back up
+// from the frame source so the next fault burst allocates without a grant
+// round-trip on its critical path. Best-effort — a refused or failed
+// request just leaves the demand-paging path to do what it always did.
+func (g *Generic) LaneIdle() {
+	want := g.cfg.LanePrefetch
+	if want <= 0 || g.cfg.Source == nil {
+		return
+	}
+	have := len(g.freeSlots)
+	if have*4 >= want {
+		return // above the low-water mark (a quarter of the target)
+	}
+	g.cfg.Source.RequestFrames(g, want-have, phys.AnyFrame()) //nolint:errcheck // best-effort prefetch
 }
 
 // MRUVictim is the classic database scan-replacement policy: evict the

@@ -1,0 +1,107 @@
+package phys
+
+import (
+	"sort"
+	"testing"
+)
+
+func frameCacheFixture(nFrames int64) (*FreeList, *FrameCache) {
+	pfns := make([]int64, nFrames)
+	for i := range pfns {
+		pfns[i] = int64(i)
+	}
+	fl := NewFreeList(pfns)
+	return fl, NewFrameCache(fl, 8, 16, 8)
+}
+
+// TestFrameCachePopRefills: a dry cache batch-refills from the free list,
+// serves the request, and parks the surplus for the next Pop — which must
+// then be served without touching the list again.
+func TestFrameCachePopRefills(t *testing.T) {
+	fl, c := frameCacheFixture(64)
+	got := c.Pop(nil, 4)
+	if len(got) != 4 {
+		t.Fatalf("Pop(4) = %d frames", len(got))
+	}
+	if c.Len() != 4 { // refill 8, served 4, parked 4
+		t.Fatalf("cache holds %d after refill, want 4", c.Len())
+	}
+	listBefore := fl.Len()
+	got = c.Pop(got[:0], 4)
+	if len(got) != 4 {
+		t.Fatalf("second Pop(4) = %d frames", len(got))
+	}
+	hits, refills, _ := c.Stats()
+	if hits != 4 || refills != 1 {
+		t.Fatalf("stats hits=%d refills=%d, want 4 and 1", hits, refills)
+	}
+	if fl.Len() != listBefore {
+		t.Fatal("cached Pop touched the shared free list")
+	}
+}
+
+// TestFrameCachePrimarySpread: the primary level keeps at most one frame
+// per PFN block, spilling same-block frames to the secondary.
+func TestFrameCachePrimarySpread(t *testing.T) {
+	fl := NewFreeList(nil)
+	c := NewFrameCache(fl, 8, 16, 8)
+	c.Push([]int64{0, 1, 2, 64, 128}) // 0,1,2 share block 0
+	if c.primCount != 3 {             // one for block 0, one each for 1 and 2
+		t.Fatalf("primary holds %d frames, want 3", c.primCount)
+	}
+	if len(c.secondary) != 2 {
+		t.Fatalf("secondary holds %d frames, want 2", len(c.secondary))
+	}
+}
+
+// TestFrameCachePushSpill: frames beyond both levels' capacity go back to
+// the shared free list rather than vanishing.
+func TestFrameCachePushSpill(t *testing.T) {
+	fl := NewFreeList(nil)
+	c := NewFrameCache(fl, 4, 4, 4)
+	var all []int64
+	for i := int64(0); i < 32; i++ {
+		all = append(all, i)
+	}
+	c.Push(all)
+	if got := c.Len() + fl.Len(); got != 32 {
+		t.Fatalf("cache %d + list %d != 32 frames", c.Len(), fl.Len())
+	}
+	_, _, spills := c.Stats()
+	if spills == 0 {
+		t.Fatal("no spill recorded despite overflow")
+	}
+}
+
+// TestFrameCacheDrain: Drain hands every cached frame back, exactly once.
+func TestFrameCacheDrain(t *testing.T) {
+	fl, c := frameCacheFixture(32)
+	c.Pop(nil, 4) // leaves 4 parked
+	c.Drain()
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d after Drain", c.Len())
+	}
+	if fl.Len() != 28 { // 32 - 4 popped
+		t.Fatalf("free list holds %d after Drain, want 28", fl.Len())
+	}
+	snap := fl.Snapshot()
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	for i := 1; i < len(snap); i++ {
+		if snap[i] == snap[i-1] {
+			t.Fatalf("PFN %d duplicated after Drain", snap[i])
+		}
+	}
+}
+
+// TestFrameCacheExhaustion: when the free list runs out, Pop returns what
+// exists and no phantom frames.
+func TestFrameCacheExhaustion(t *testing.T) {
+	_, c := frameCacheFixture(6)
+	got := c.Pop(nil, 10)
+	if len(got) != 6 {
+		t.Fatalf("Pop(10) over 6 frames = %d", len(got))
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache still holds %d", c.Len())
+	}
+}

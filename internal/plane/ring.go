@@ -94,6 +94,31 @@ func (r *Ring[T]) Pop() (Envelope[T], bool) {
 	return env, true
 }
 
+// PopMany fills buf with up to len(buf) envelopes, returning how many were
+// popped. Same single-consumer requirement as Pop, but the head pointer is
+// published once for the whole batch instead of per envelope — producers
+// only consult per-cell sequence numbers (stored as each cell is freed), so
+// deferring the head store costs them nothing while the consumer saves one
+// shared-line store per message.
+func (r *Ring[T]) PopMany(buf []Envelope[T]) int {
+	pos := r.head.Load()
+	n := uint64(0)
+	for n < uint64(len(buf)) {
+		c := &r.cells[(pos+n)&r.mask]
+		if int64(c.seq.Load())-int64(pos+n+1) < 0 {
+			break
+		}
+		buf[n] = c.env
+		c.env = Envelope[T]{}
+		c.seq.Store(pos + n + r.mask + 1)
+		n++
+	}
+	if n > 0 {
+		r.head.Store(pos + n)
+	}
+	return int(n)
+}
+
 // PopBatch fills buf with up to len(buf) envelopes, returning how many were
 // popped. Same single-consumer requirement as Pop.
 func (r *Ring[T]) PopBatch(buf []Envelope[T]) int {

@@ -21,6 +21,20 @@ func (s *SPCM) CheckInvariants() error {
 		return fmt.Errorf("spcm invariant: %w", err)
 	}
 	pool := s.free.Snapshot()
+	s.regMu.RLock()
+	accts := make([]*Account, 0, len(s.order))
+	for _, g := range s.order {
+		accts = append(accts, s.accounts[g])
+	}
+	s.regMu.RUnlock()
+	// Frames parked in account frame caches are part of the free pool for
+	// conservation purposes; CheckInvariants runs quiescent, so snapshotting
+	// the single-owner caches from here is safe.
+	for _, a := range accts {
+		if a.cache != nil {
+			pool = append(pool, a.cache.Snapshot()...)
+		}
+	}
 	seen := make(map[int64]bool, len(pool))
 	for _, p := range pool {
 		if seen[p] {
@@ -31,12 +45,6 @@ func (s *SPCM) CheckInvariants() error {
 			return fmt.Errorf("spcm invariant: pooled boot page %d not in boot segment", p)
 		}
 	}
-	s.regMu.RLock()
-	accts := make([]*Account, 0, len(s.order))
-	for _, g := range s.order {
-		accts = append(accts, s.accounts[g])
-	}
-	s.regMu.RUnlock()
 	for _, a := range accts {
 		a.mu.Lock()
 		spent := a.rentPaid + a.taxPaid + a.ioPaid

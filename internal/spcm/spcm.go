@@ -51,6 +51,15 @@ type Policy struct {
 	FreeWhenUncontended bool
 	// MinGrantBalance is the balance below which new requests are refused.
 	MinGrantBalance float64
+	// LaneCacheRefill, when positive, gives every account a private
+	// two-level frame cache (phys.FrameCache) over the shared free list,
+	// batch-refilled this many frames at a time: unconstrained grants come
+	// out of the cache, so concurrent lanes stop meeting on the free-list
+	// stripes. Zero disables the caches — frames always move straight
+	// between the shared pool and managers, preserving the exact grant
+	// and exhaustion order the market experiments (and the golden output)
+	// were recorded with.
+	LaneCacheRefill int
 }
 
 // DefaultPolicy returns a workable market: a dram per MB-second, income
@@ -82,6 +91,16 @@ type Account struct {
 	ioPages    int64
 	// statistics
 	earned, rentPaid, taxPaid, ioPaid float64
+
+	// cache (nil unless Policy.LaneCacheRefill > 0) and the grant scratch
+	// buffers are owned by the account's request path, which runs on the
+	// manager's single delivery-lane executor — they take no lock. Control-
+	// plane users (Revoke, RequestContiguous, CheckInvariants) only touch
+	// the cache from contexts where that lane is quiet.
+	cache       *phys.FrameCache
+	grantPFNs   []int64
+	grantSlots  []int64
+	grantRanges []kernel.PageRange
 }
 
 // Name returns the account name.
@@ -201,8 +220,20 @@ func New(k *kernel.Kernel, policy Policy) *SPCM {
 	return s
 }
 
-// FreeFrames reports the number of unallocated frames.
-func (s *SPCM) FreeFrames() int { return s.free.Len() }
+// FreeFrames reports the number of unallocated frames: the shared free
+// list plus every account's private frame cache (frames parked in a cache
+// are still unallocated, just reserved for one lane's fast path).
+func (s *SPCM) FreeFrames() int {
+	n := s.free.Len()
+	s.regMu.RLock()
+	for _, a := range s.accounts {
+		if a.cache != nil {
+			n += a.cache.Len()
+		}
+	}
+	s.regMu.RUnlock()
+	return n
+}
 
 // Stats returns a snapshot of decision counters.
 func (s *SPCM) Stats() Stats {
@@ -228,6 +259,9 @@ func (s *SPCM) Register(g *manager.Generic, name string, income float64) *Accoun
 		income = s.policy.DefaultIncome
 	}
 	a := &Account{name: name, mgr: g, income: income, lastSettle: s.clock.Now()}
+	if s.policy.LaneCacheRefill > 0 {
+		a.cache = phys.NewFrameCache(s.free, 0, 0, s.policy.LaneCacheRefill)
+	}
 	s.accounts[g] = a
 	s.order = append(s.order, g)
 	return a
@@ -383,13 +417,23 @@ func (s *SPCM) RequestFrames(g *manager.Generic, n int, constraint phys.Range) (
 		s.unmetDemand.Add(int64(n))
 		return 0, nil
 	}
-	var admit func(pfn int64) bool
-	if constraint.Constrained() {
-		admit = func(pfn int64) bool {
-			return constraint.Admits(s.k.Mem().Frame(phys.PFN(pfn)))
+	var picked []int64
+	if a.cache != nil && !constraint.Constrained() {
+		// Unconstrained grants (every fault without a Constraint hook) come
+		// from the account's private cache; only its batch refills touch
+		// the shared stripes. Constrained requests bypass the cache: the
+		// shared pool has the full frame population to filter.
+		a.grantPFNs = a.cache.Pop(a.grantPFNs[:0], n)
+		picked = a.grantPFNs
+	} else {
+		var admit func(pfn int64) bool
+		if constraint.Constrained() {
+			admit = func(pfn int64) bool {
+				return constraint.Admits(s.k.Mem().Frame(phys.PFN(pfn)))
+			}
 		}
+		picked = s.free.Pop(n, admit)
 	}
-	picked := s.free.Pop(n, admit)
 	if len(picked) < n {
 		s.stats.deferred.Add(1)
 		s.unmetDemand.Add(int64(n - len(picked)))
@@ -397,8 +441,20 @@ func (s *SPCM) RequestFrames(g *manager.Generic, n int, constraint phys.Range) (
 	if len(picked) == 0 {
 		return 0, nil
 	}
-	slots := g.ReceiveSlots(len(picked))
-	ranges := kernel.CoalesceRanges(picked, slots)
+	var slots []int64
+	if a.cache != nil {
+		a.grantSlots = g.ReceiveSlotsAppend(a.grantSlots[:0], len(picked))
+		slots = a.grantSlots
+	} else {
+		slots = g.ReceiveSlots(len(picked))
+	}
+	var ranges []kernel.PageRange
+	if a.cache != nil {
+		a.grantRanges = kernel.CoalesceRangesInto(a.grantRanges[:0], picked, slots)
+		ranges = a.grantRanges
+	} else {
+		ranges = kernel.CoalesceRanges(picked, slots)
+	}
 	if err := s.k.MigratePagesBatch(kernel.SystemCred, s.k.BootSegment(), g.FreeSegment(),
 		ranges, 0, 0); err != nil {
 		s.free.Push(picked)
@@ -429,6 +485,12 @@ func (s *SPCM) RequestContiguous(g *manager.Generic, n int) (int, error) {
 		s.stats.refused.Add(1)
 		s.unmetDemand.Add(int64(n))
 		return 0, nil
+	}
+	// A private frame cache hides frames from the run search below; hand
+	// them back first. (Contiguous requests come from the account's own
+	// lane, the cache's owner context.)
+	if a.cache != nil {
+		a.cache.Drain()
 	}
 	// Snapshot → find run → remove all-or-nothing; a racing grant can
 	// steal part of the run between the snapshot and the removal, so retry
@@ -602,7 +664,8 @@ func (s *SPCM) Enforce() (int, error) {
 // repossessed.
 func (s *SPCM) Revoke(g *manager.Generic) (int, error) {
 	s.regMu.Lock()
-	if _, ok := s.accounts[g]; !ok {
+	a, ok := s.accounts[g]
+	if !ok {
 		s.regMu.Unlock()
 		return 0, fmt.Errorf("%w: %s", ErrNotRegistered, g.ManagerName())
 	}
@@ -615,6 +678,11 @@ func (s *SPCM) Revoke(g *manager.Generic) (int, error) {
 	}
 	s.regMu.Unlock()
 	s.stats.revocations.Add(1)
+	// The account is out of the registry, so its lane can no longer reach
+	// the cache; hand its parked frames back to the shared pool.
+	if a.cache != nil {
+		a.cache.Drain()
+	}
 
 	free := g.FreeSegment()
 	slots := free.Pages()

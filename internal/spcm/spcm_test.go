@@ -504,3 +504,85 @@ func TestSPCMFrameAccountingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLaneCacheGrantPath exercises the account frame cache end to end:
+// the first unconstrained grant batch-refills the cache, later grants come
+// out of it without touching the shared list, constrained grants bypass it,
+// contiguous requests drain it, FreeFrames counts parked frames as free,
+// and Revoke hands them back to the pool. Invariants hold throughout.
+func TestLaneCacheGrantPath(t *testing.T) {
+	policy := DefaultPolicy()
+	policy.LaneCacheRefill = 32
+	fx := newFixture(t, policy)
+	g, a := fx.newClient(t, "app", 0)
+	if a.cache == nil {
+		t.Fatal("LaneCacheRefill policy did not create an account cache")
+	}
+
+	n, err := fx.s.RequestFrames(g, 8, phys.AnyFrame())
+	if err != nil || n != 8 {
+		t.Fatalf("grant n=%d err=%v", n, err)
+	}
+	if _, refills, _ := a.cache.Stats(); refills != 1 {
+		t.Fatalf("refills = %d, want 1", refills)
+	}
+	if a.cache.Len() != 32-8 {
+		t.Fatalf("cache holds %d, want 24", a.cache.Len())
+	}
+	// Parked frames are still free frames.
+	if fx.s.FreeFrames() != 1024-8 {
+		t.Fatalf("FreeFrames = %d, want %d", fx.s.FreeFrames(), 1024-8)
+	}
+
+	// Second grant: served entirely from the cache, shared list untouched.
+	listBefore := fx.s.free.Len()
+	n, err = fx.s.RequestFrames(g, 8, phys.AnyFrame())
+	if err != nil || n != 8 {
+		t.Fatalf("cached grant n=%d err=%v", n, err)
+	}
+	if fx.s.free.Len() != listBefore {
+		t.Fatal("cached grant touched the shared free list")
+	}
+
+	// Constrained grants bypass the cache so the full population filters.
+	cacheBefore := a.cache.Len()
+	n, err = fx.s.RequestFrames(g, 4, phys.Range{Color: 3, Node: phys.NodeAny})
+	if err != nil || n != 4 {
+		t.Fatalf("constrained grant n=%d err=%v", n, err)
+	}
+	if a.cache.Len() != cacheBefore {
+		t.Fatal("constrained grant consumed the cache")
+	}
+	if err := fx.s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Contiguous requests must see cached frames in the run search.
+	n, err = fx.s.RequestContiguous(g, 4)
+	if err != nil || n != 4 {
+		t.Fatalf("contiguous n=%d err=%v", n, err)
+	}
+	if a.cache.Len() != 0 {
+		t.Fatalf("cache holds %d after contiguous drain", a.cache.Len())
+	}
+	if err := fx.s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Refill again, then revoke: parked frames must rejoin the pool.
+	if _, err := fx.s.RequestFrames(g, 4, phys.AnyFrame()); err != nil {
+		t.Fatal(err)
+	}
+	if a.cache.Len() == 0 {
+		t.Fatal("expected frames parked before revoke")
+	}
+	if _, err := fx.s.Revoke(g); err != nil {
+		t.Fatal(err)
+	}
+	if fx.s.FreeFrames() != 1024 {
+		t.Fatalf("FreeFrames = %d after revoke, want 1024", fx.s.FreeFrames())
+	}
+	if err := fx.k.CheckFrameConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@
 #   scripts/benchdiff.sh baseline            # record baseline.bench
 #   scripts/benchdiff.sh compare             # run again, print old vs new
 #   scripts/benchdiff.sh diff OLD.bench NEW.bench   # compare two files
+#   scripts/benchdiff.sh scale               # diff the last two scale sweeps
 #
 # The benchmark set is the delivery plane's hot paths: the fault-path and
 # table harness benchmarks, the delivery-plane scaling benchmark, and the
@@ -68,8 +69,14 @@ compare)
 diff)
     diff_files "${2:?usage: benchdiff.sh diff OLD.bench NEW.bench}" "${3:?usage: benchdiff.sh diff OLD.bench NEW.bench}"
     ;;
+scale)
+    # Per-cell diff (wall faults/s and allocs/fault) of the last two sweeps
+    # recorded in BENCH_scale.json. Advisory like everything else here:
+    # never fails the build.
+    go run ./cmd/reproduce -scalediff || true
+    ;;
 *)
-    echo "usage: benchdiff.sh [baseline|compare|diff OLD NEW]" >&2
+    echo "usage: benchdiff.sh [baseline|compare|diff OLD NEW|scale]" >&2
     exit 2
     ;;
 esac

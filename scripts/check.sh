@@ -25,11 +25,12 @@ go build ./examples/...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== chaos suite (16 seeds x 4 injection kinds, -race) =="
-go test -race -run Chaos -count=1 ./internal/core ./internal/spcm
+echo "== chaos suite (fault injection + lock-free structure hammers, -race) =="
+go test -race -run Chaos -count=1 ./internal/core ./internal/spcm ./internal/kernel ./internal/manager
 
 echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz='^FuzzMappingTable$' -fuzztime=10s ./internal/kernel
+go test -run='^$' -fuzz='^FuzzCASTable$' -fuzztime=10s ./internal/kernel
 go test -run='^$' -fuzz='^FuzzUIO$' -fuzztime=10s ./internal/uio
 go test -run='^$' -fuzz='^FuzzMailbox$' -fuzztime=10s ./internal/plane
 
