@@ -18,6 +18,10 @@
 //	reproduce -plane -managers 1,2,4 # plane table over chosen manager counts
 //	reproduce -batch=false           # disable batched kernel operations
 //	reproduce -scale                 # wall-clock scale sweep -> BENCH_scale.json
+//	reproduce -policy                # replacement-policy shootout -> BENCH_policy.json
+//	reproduce -policy -policies lru,s3fifo -policyworkloads mixed
+//	reproduce -policydiff            # diff the last two shootout sweeps and exit
+//	reproduce -reclaim lru           # boot-default replacement policy for the tables
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"epcm/internal/experiments"
 	"epcm/internal/harness"
 	"epcm/internal/kernel"
+	"epcm/internal/manager"
 )
 
 // trajectory is the BENCH_reproduce.json record: one wall-clock and
@@ -68,6 +73,13 @@ func main() {
 	managersFlag := flag.String("managers", "1,4", "comma-separated manager counts for the -plane table")
 	scale := flag.Bool("scale", false, "run the wall-clock scale sweep (managers x scheduler x batch) and append it to BENCH_scale.json")
 	scaleDiff := flag.Bool("scalediff", false, "print a per-cell diff of the last two sweeps in BENCH_scale.json and exit")
+	policyTbl := flag.Bool("policy", false, "run the replacement-policy shootout (policies x workloads x pressures) and append it to -policyout")
+	policiesFlag := flag.String("policies", "", "comma-separated policy names for the -policy shootout (default: all registered)")
+	policyWorkloads := flag.String("policyworkloads", "", "comma-separated workloads for the -policy shootout: zipf,scan,loop,mixed (default: all)")
+	policyRefs := flag.Int("policyrefs", 0, "reference-string length per shootout cell (default 20000)")
+	policyOut := flag.String("policyout", "BENCH_policy.json", "append-only trajectory file for the -policy shootout")
+	policyDiff := flag.Bool("policydiff", false, "print a per-cell diff of the last two sweeps in the -policyout file and exit")
+	reclaim := flag.String("reclaim", "", "boot-default replacement policy for all managers: clock, lru, lfu, s3fifo or mglru")
 	flag.Parse()
 	if *scaleDiff {
 		out, err := experiments.DiffScaleSweeps("BENCH_scale.json")
@@ -77,6 +89,21 @@ func main() {
 		}
 		os.Stdout.WriteString(out)
 		return
+	}
+	if *policyDiff {
+		out, err := experiments.DiffPolicySweeps(*policyOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(2)
+		}
+		os.Stdout.WriteString(out)
+		return
+	}
+	if *reclaim != "" {
+		if err := manager.SetBootPolicy(*reclaim); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(2)
+		}
 	}
 	kernel.SetBatchOps(*batch)
 	if err := kernel.SetBootScheduler(*sched); err != nil {
@@ -176,6 +203,28 @@ func main() {
 		}
 	}
 
+	if *policyTbl {
+		// Each cell boots its own kernel and toggles no process globals, but
+		// the allocs/fault column wants a quiet heap, so run after the
+		// harness tasks have drained.
+		rep, sweep, err := experiments.PolicyShootout(experiments.ShootoutOptions{
+			Policies:  splitCSV(*policiesFlag),
+			Workloads: splitCSV(*policyWorkloads),
+			Refs:      *policyRefs,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce: policy shootout:", err)
+			ok = false
+		} else {
+			os.Stdout.Write(rep.Output)
+			ok = ok && rep.OK
+			if err := experiments.AppendPolicySweep(*policyOut, sweep); err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce: writing", *policyOut+":", err)
+				ok = false
+			}
+		}
+	}
+
 	if *jsonPath != "" {
 		blob, err := json.MarshalIndent(traj, "", "  ")
 		if err == nil {
@@ -189,6 +238,17 @@ func main() {
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// splitCSV splits a comma list, dropping empty entries; nil when empty.
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // parseManagers parses the -managers comma list.

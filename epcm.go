@@ -121,6 +121,43 @@ type Victim = manager.Victim
 // MRUVictim evicts the most recently used (highest-numbered) page.
 func MRUVictim(cands []Victim) int { return manager.MRUVictim(cands) }
 
+// --- Replacement policies -----------------------------------------------
+
+// Policy is a pluggable replacement policy: victim selection plus
+// insert/touch/remove bookkeeping hooks, driven by the manager through a
+// PolicyHost. Registered implementations: "clock" (the §2.2 default),
+// "lru", "lfu", "s3fifo" and "mglru". Set ManagerConfig.Policy for one
+// manager, Config.ReclaimPolicy for a whole system, or SetSegmentPolicy
+// for one segment.
+type Policy = manager.Policy
+
+// PolicyHost is the manager-side interface a Policy samples and evicts
+// through.
+type PolicyHost = manager.PolicyHost
+
+// PageID names one page of one segment in policy bookkeeping.
+type PageID = manager.PageID
+
+// Policy registry re-exports: NewPolicy constructs a registered policy by
+// name, PolicyNames lists them, RegisterPolicy adds a custom one, and
+// SetBootPolicy/BootPolicy select the process-wide default for managers
+// that do not choose explicitly.
+var (
+	NewPolicy      = manager.NewPolicy
+	PolicyNames    = manager.PolicyNames
+	RegisterPolicy = manager.RegisterPolicy
+	SetBootPolicy  = manager.SetBootPolicy
+	BootPolicy     = manager.BootPolicy
+)
+
+// SetSegmentPolicy binds a replacement policy instance to one managed
+// segment (nil restores the manager's default policy). Per-segment
+// policies let one manager run, say, MGLRU over its heap and plain FIFO
+// over a log segment.
+func SetSegmentPolicy(mgr *Generic, seg *Segment, p Policy) {
+	mgr.SetSegmentPolicy(seg, p)
+}
+
 // FrameRange constrains which physical frames may serve an allocation
 // (physical placement control and page coloring).
 type FrameRange = phys.Range

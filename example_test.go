@@ -97,6 +97,46 @@ func ExampleMRUVictim() {
 	// Output: reclaimed: 2 page 7 resident: false page 0 resident: true
 }
 
+// ExampleSetSegmentPolicy binds a replacement policy to one segment: the
+// manager keeps its default clock sweep everywhere else, but this segment
+// runs true LRU. After one second-chance pass clears the reference bits,
+// LRU evicts the coldest (lowest-numbered, never re-touched) pages first.
+func ExampleSetSegmentPolicy() {
+	sys, err := epcm.Boot(epcm.Config{MemoryBytes: 8 << 20, StoreData: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, _, err := sys.NewAppManager(epcm.ManagerConfig{
+		Name:    "mixed-policies",
+		Backing: manager.NewSwapBacking(sys.Store),
+	}, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seg, err := mgr.CreateManagedSegment("lru-data")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lru, err := epcm.NewPolicy("lru")
+	if err != nil {
+		log.Fatal(err)
+	}
+	epcm.SetSegmentPolicy(mgr, seg, lru)
+
+	for p := int64(0); p < 8; p++ {
+		if err := sys.Kernel.Access(seg, p, epcm.Write); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Reclaim two frames: LRU takes the two oldest pages.
+	n, err := mgr.Reclaim(2, epcm.AnyFrame())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reclaimed:", n, "page 0 resident:", seg.HasPage(0), "page 7 resident:", seg.HasPage(7))
+	// Output: reclaimed: 2 page 0 resident: false page 7 resident: true
+}
+
 // ExampleFaultPlan arms the deterministic fault plane: seeded storage
 // errors fly while the workload runs, and the named manager is crashed
 // after its 100th fault delivery. The kernel revokes the dead manager, the

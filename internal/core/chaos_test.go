@@ -42,7 +42,15 @@ var chaosSchedulers = []string{"serial", "concurrent"}
 // physical memory, so reclaim, writeback and re-fetch traffic all happen.
 func chaosSystem(t testing.TB, plan faultinject.Plan, sched string) (*System, *manager.Generic, *kernel.Segment) {
 	t.Helper()
-	sys, err := Boot(Config{MemoryBytes: 1 << 20, StoreData: true, FaultPlan: &plan, Scheduler: sched})
+	return chaosSystemPolicy(t, plan, sched, "")
+}
+
+// chaosSystemPolicy is chaosSystem with a boot replacement policy: both the
+// default manager and the victim manager run it, so chaos schedules (crash
+// recovery and adoption included) exercise the whole policy plane.
+func chaosSystemPolicy(t testing.TB, plan faultinject.Plan, sched, policy string) (*System, *manager.Generic, *kernel.Segment) {
+	t.Helper()
+	sys, err := Boot(Config{MemoryBytes: 1 << 20, StoreData: true, FaultPlan: &plan, Scheduler: sched, ReclaimPolicy: policy})
 	if err != nil {
 		t.Fatal(err)
 	}

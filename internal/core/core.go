@@ -57,6 +57,11 @@ type Config struct {
 	// manager, sharded kernel caches), or "" to keep whatever mode the
 	// process selected with kernel.SetBootScheduler.
 	Scheduler string
+	// ReclaimPolicy names the replacement policy managers boot with when
+	// their manager.Config leaves Policy nil: "clock" (the §2.2 default),
+	// "lru", "lfu", "s3fifo" or "mglru". It applies to the default manager
+	// and to NewAppManager; "" keeps the process boot default.
+	ReclaimPolicy string
 }
 
 // System is a booted V++ machine.
@@ -70,6 +75,10 @@ type System struct {
 	Default *defaultmgr.Default
 	// Chaos is the armed fault plane, or nil when Config.FaultPlan was nil.
 	Chaos *faultinject.Plane
+
+	// reclaimPolicy is Config.ReclaimPolicy, applied to every app manager
+	// whose Config leaves Policy nil.
+	reclaimPolicy string
 }
 
 // Boot builds and starts a system.
@@ -122,7 +131,15 @@ func Boot(cfg Config) (*System, error) {
 	}
 	s := spcm.New(k, policy)
 
-	d, err := defaultmgr.New(k, store, defaultmgr.Config{Source: s})
+	dcfg := defaultmgr.Config{Source: s}
+	if cfg.ReclaimPolicy != "" {
+		p, err := manager.NewPolicy(cfg.ReclaimPolicy)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		dcfg.Policy = p
+	}
+	d, err := defaultmgr.New(k, store, dcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -153,13 +170,14 @@ func Boot(cfg Config) (*System, error) {
 	})
 
 	sys := &System{
-		Clock:   clock,
-		Cost:    cost,
-		Mem:     mem,
-		Kernel:  k,
-		Store:   store,
-		SPCM:    s,
-		Default: d,
+		Clock:         clock,
+		Cost:          cost,
+		Mem:           mem,
+		Kernel:        k,
+		Store:         store,
+		SPCM:          s,
+		Default:       d,
+		reclaimPolicy: cfg.ReclaimPolicy,
 	}
 	if cfg.FaultPlan != nil {
 		plane := faultinject.New(*cfg.FaultPlan, clock)
@@ -178,6 +196,13 @@ func Boot(cfg Config) (*System, error) {
 // the given income, registered with the SPCM.
 func (s *System) NewAppManager(cfg manager.Config, income float64) (*manager.Generic, *spcm.Account, error) {
 	cfg.Source = s.SPCM
+	if cfg.Policy == nil && s.reclaimPolicy != "" {
+		p, err := manager.NewPolicy(s.reclaimPolicy)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		cfg.Policy = p
+	}
 	g, err := manager.NewGeneric(s.Kernel, cfg)
 	if err != nil {
 		return nil, nil, err

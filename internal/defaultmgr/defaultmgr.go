@@ -38,6 +38,9 @@ type Config struct {
 	// instead of the realistic separate-server IPC path. Used only by
 	// ablation benchmarks; the real default manager is a separate server.
 	SameProcess bool
+	// Policy is the replacement policy for the embedded Generic; nil keeps
+	// the boot default (normally the §2.2 clock).
+	Policy manager.Policy
 }
 
 // Default is the default segment manager.
@@ -105,6 +108,7 @@ func New(k *kernel.Kernel, store *storage.Store, cfg Config) (*Default, error) {
 		Backing:  d.backing,
 		Source:   cfg.Source,
 		Fill:     d.fill,
+		Policy:   cfg.Policy,
 	})
 	if err != nil {
 		return nil, err

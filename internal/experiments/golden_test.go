@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"os"
 	"testing"
+
+	"epcm/internal/manager"
 )
 
 // TestReproduceGolden locks the reproduce output byte-for-byte against
@@ -42,6 +44,73 @@ func TestReproduceGolden(t *testing.T) {
 		}
 		t.Fatalf("reproduce output diverged from golden at byte %d (got %d bytes, want %d)\n--- got around divergence ---\n%s",
 			i, got.Len(), len(want), context(got.Bytes(), i))
+	}
+}
+
+// TestGoldenWithExplicitClockPolicy re-runs the golden comparison with the
+// boot replacement policy set explicitly to "clock" via the registry. The
+// pluggable-policy plane extracted the clock sweep out of Generic.Reclaim;
+// this pins that the extraction is charge-for-charge identical — the
+// registry-constructed clock policy must issue the same GetPageAttribute /
+// ModifyPageFlags sequence the inlined sweep did, or the tables drift.
+func TestGoldenWithExplicitClockPolicy(t *testing.T) {
+	prev := manager.BootPolicy()
+	if err := manager.SetBootPolicy("clock"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := manager.SetBootPolicy(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	want, err := os.ReadFile("testdata/reproduce.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	for _, run := range []func() (*Report, error){
+		Table1,
+		Tables23,
+		func() (*Report, error) { return Table4(0, 0) },
+	} {
+		rep, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Write(rep.Output)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		i := 0
+		for i < len(want) && i < got.Len() && want[i] == got.Bytes()[i] {
+			i++
+		}
+		t.Fatalf("explicit clock policy diverged from golden at byte %d\n--- got around divergence ---\n%s",
+			i, context(got.Bytes(), i))
+	}
+}
+
+// TestTable1PolicyInvariance checks that Table 1 — whose fault measurements
+// never trigger a reclaim — is identical under every registered policy:
+// the policy plane must be off the minimal-fault path entirely.
+func TestTable1PolicyInvariance(t *testing.T) {
+	prev := manager.BootPolicy()
+	defer func() { _ = manager.SetBootPolicy(prev) }()
+	var base []byte
+	for _, name := range manager.PolicyNames() {
+		if err := manager.SetBootPolicy(name); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Table1()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if base == nil {
+			base = rep.Output
+			continue
+		}
+		if !bytes.Equal(rep.Output, base) {
+			t.Fatalf("Table 1 output differs under policy %s:\n%s", name, rep.Output)
+		}
 	}
 }
 

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/phys"
+	"epcm/internal/sim"
+	"epcm/internal/storage"
+	"epcm/internal/workload"
+)
+
+// The policy shootout: every replacement policy × every canonical
+// reference-string shape × three memory pressures, on one self-contained
+// manager with an exactly sized frame pool. Hit rate and fault latency are
+// virtual-time deterministic (fixed seeds); allocs/fault is the wall-side
+// bookkeeping cost of the policy itself. Results append to
+// BENCH_policy.json so the trajectory of policy behaviour is recorded
+// across commits.
+
+// PolicyCell is one grid cell of the shootout.
+type PolicyCell struct {
+	Policy    string  `json:"policy"`
+	Workload  string  `json:"workload"`
+	Pressure  string  `json:"pressure"` // light/medium/heavy
+	Frames    int64   `json:"frames"`
+	Footprint int64   `json:"footprint"`
+	Refs      int     `json:"refs"`
+	Faults    int64   `json:"faults"`
+	HitRate   float64 `json:"hit_rate"`
+	// FaultLatencyUS is virtual elapsed time per fault, µs.
+	FaultLatencyUS float64 `json:"fault_latency_us"`
+	AllocsPerFault float64 `json:"allocs_per_fault"`
+	Reclaims       int64   `json:"reclaims"`
+}
+
+// PolicySweep is one recorded shootout run.
+type PolicySweep struct {
+	GeneratedAt string       `json:"generated_at"`
+	Note        string       `json:"note,omitempty"`
+	Cells       []PolicyCell `json:"cells"`
+}
+
+// policyBenchFile is the on-disk shape of BENCH_policy.json.
+type policyBenchFile struct {
+	Benchmark string         `json:"benchmark"`
+	Sweeps    []*PolicySweep `json:"sweeps"`
+}
+
+// AppendPolicySweep appends a sweep to the BENCH_policy.json trajectory,
+// creating the file if absent — append-only, like the other BENCH files.
+func AppendPolicySweep(path string, sweep *PolicySweep) error {
+	f := &policyBenchFile{Benchmark: "PolicyShootout"}
+	if raw, err := os.ReadFile(path); err == nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, f); err != nil {
+			return fmt.Errorf("experiments: %s: %w", path, err)
+		}
+	}
+	f.Sweeps = append(f.Sweeps, sweep)
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// DiffPolicySweeps renders a per-cell diff (hit rate, fault latency) of
+// the last two sweeps in the trajectory file.
+func DiffPolicySweeps(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var f policyBenchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return "", fmt.Errorf("experiments: %s: %w", path, err)
+	}
+	if len(f.Sweeps) < 2 {
+		return fmt.Sprintf("%s: %d sweep(s) recorded; need two to diff\n", path, len(f.Sweeps)), nil
+	}
+	prev, cur := f.Sweeps[len(f.Sweeps)-2], f.Sweeps[len(f.Sweeps)-1]
+	old := map[string]PolicyCell{}
+	for _, c := range prev.Cells {
+		old[c.Policy+"/"+c.Workload+"/"+c.Pressure] = c
+	}
+	b := &bytes.Buffer{}
+	fmt.Fprintf(b, "policy shootout diff: %s -> %s\n", prev.GeneratedAt, cur.GeneratedAt)
+	fmt.Fprintf(b, "%-8s %-8s %-7s %12s %12s %14s %14s\n",
+		"Policy", "Workload", "Press", "hit old", "hit new", "lat old(us)", "lat new(us)")
+	for _, c := range cur.Cells {
+		key := c.Policy + "/" + c.Workload + "/" + c.Pressure
+		o, ok := old[key]
+		if !ok {
+			fmt.Fprintf(b, "%-8s %-8s %-7s %12s %12.3f %14s %14.1f  (new cell)\n",
+				c.Policy, c.Workload, c.Pressure, "-", c.HitRate, "-", c.FaultLatencyUS)
+			continue
+		}
+		mark := ""
+		if c.HitRate+1e-9 < o.HitRate {
+			mark = "  <- hit rate regressed"
+		}
+		fmt.Fprintf(b, "%-8s %-8s %-7s %12.3f %12.3f %14.1f %14.1f%s\n",
+			c.Policy, c.Workload, c.Pressure, o.HitRate, c.HitRate,
+			o.FaultLatencyUS, c.FaultLatencyUS, mark)
+	}
+	return b.String(), nil
+}
+
+// ShootoutOptions configures PolicyShootout; zero values select the full
+// grid (all registered policies, all workloads, 20000 references).
+type ShootoutOptions struct {
+	Policies  []string
+	Workloads []string
+	Refs      int
+}
+
+// policyRefs builds the named reference string. Footprints are sized so a
+// cell at pressure p runs with p×footprint frames.
+func policyRefs(name string, refs int) ([]int64, error) {
+	switch name {
+	case "zipf":
+		return workload.ZipfRefs(512, refs, 1.1, 1992), nil
+	case "scan":
+		n := refs
+		if n > 4096 {
+			n = 4096
+		}
+		return workload.ScanRefs(n), nil
+	case "loop":
+		return workload.LoopRefs(512, refs), nil
+	case "mixed":
+		return workload.MixedRefs(512, refs, 1992), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown shootout workload %q", name)
+	}
+}
+
+var policyPressures = []struct {
+	name  string
+	ratio float64
+}{
+	{"light", 0.75},
+	{"medium", 0.50},
+	{"heavy", 0.25},
+}
+
+// policyCell boots a self-contained kernel + fixed frame pool, replays the
+// reference string through one manager running the named policy, and
+// measures the cell.
+func policyCell(policyName, workloadName, pressure string, refs []int64, frames int64) (*PolicyCell, error) {
+	const frameSize = 4096
+	footprint := workload.Footprint(refs)
+	mem := phys.NewMemory(phys.Config{FrameSize: frameSize, TotalBytes: (frames + 64) * frameSize})
+	var clock sim.Clock
+	k := kernel.New(mem, &clock, sim.DECstation5000(), kernel.Config{})
+	defer k.Scheduler().Stop()
+	pool, err := manager.NewFixedPool(k, frames, 0)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := manager.NewPolicy(policyName)
+	if err != nil {
+		return nil, err
+	}
+	store := storage.NewStore(&clock, storage.NetworkServer(), frameSize)
+	g, err := manager.NewGeneric(k, manager.Config{
+		Name:    "shootout-" + policyName,
+		Backing: manager.NewSwapBacking(store),
+		Source:  pool,
+		Policy:  pol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.PresizeResident(int(frames) + 8)
+	seg, err := g.CreateManagedSegment("shootout-data")
+	if err != nil {
+		return nil, err
+	}
+
+	// Measurement hygiene as in PlaneThroughput: collect setup garbage,
+	// hold GC off so allocs/fault reflects the policy's bookkeeping.
+	runtime.GC()
+	gcPrev := debug.SetGCPercent(-1)
+	clock.Reset()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
+	for _, p := range refs {
+		if err := k.Access(seg, p, kernel.Write); err != nil {
+			debug.SetGCPercent(gcPrev)
+			return nil, fmt.Errorf("policy %s %s/%s: %w", policyName, workloadName, pressure, err)
+		}
+	}
+
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	debug.SetGCPercent(gcPrev)
+
+	st := g.Stats()
+	cell := &PolicyCell{
+		Policy:    policyName,
+		Workload:  workloadName,
+		Pressure:  pressure,
+		Frames:    frames,
+		Footprint: footprint,
+		Refs:      len(refs),
+		Faults:    st.Faults,
+		Reclaims:  st.Reclaims,
+	}
+	if n := len(refs); n > 0 {
+		cell.HitRate = 1 - float64(st.Faults)/float64(n)
+	}
+	if st.Faults > 0 {
+		cell.FaultLatencyUS = float64(clock.Now().Microseconds()) / float64(st.Faults)
+		cell.AllocsPerFault = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(st.Faults)
+	}
+	return cell, nil
+}
+
+// PolicyShootout runs the grid and renders the matrix, returning the
+// report and the sweep to append to BENCH_policy.json.
+func PolicyShootout(opt ShootoutOptions) (*Report, *PolicySweep, error) {
+	policies := opt.Policies
+	if len(policies) == 0 {
+		policies = manager.PolicyNames()
+	}
+	workloads := opt.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{"zipf", "scan", "loop", "mixed"}
+	}
+	refsN := opt.Refs
+	if refsN <= 0 {
+		refsN = 20000
+	}
+	sweep := &PolicySweep{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Note: fmt.Sprintf("policy shootout: %d policies x %d workloads x %d pressures, %d refs",
+			len(policies), len(workloads), len(policyPressures), refsN),
+	}
+	rep := &Report{Table: "policy"}
+	b := &bytes.Buffer{}
+	header(b, "Replacement-Policy Shootout (not in paper; §2.2 selection routines)")
+	fmt.Fprintf(b, "%-8s %-8s %-7s %7s %10s %8s %9s %13s %13s\n",
+		"Policy", "Workload", "Press", "Frames", "Refs", "Faults", "Hit rate", "Fault lat(us)", "Allocs/fault")
+	ok := true
+	for _, wl := range workloads {
+		refs, err := policyRefs(wl, refsN)
+		if err != nil {
+			return nil, nil, err
+		}
+		footprint := workload.Footprint(refs)
+		for _, pr := range policyPressures {
+			frames := int64(pr.ratio * float64(footprint))
+			if frames < 16 {
+				frames = 16
+			}
+			for _, pol := range policies {
+				cell, err := policyCell(pol, wl, pr.name, refs, frames)
+				if err != nil {
+					return nil, nil, err
+				}
+				fmt.Fprintf(b, "%-8s %-8s %-7s %7d %10d %8d %9.3f %13.1f %13.3f\n",
+					cell.Policy, cell.Workload, cell.Pressure, cell.Frames, cell.Refs,
+					cell.Faults, cell.HitRate, cell.FaultLatencyUS, cell.AllocsPerFault)
+				if cell.HitRate < 0 || cell.HitRate > 1 {
+					ok = false
+				}
+				rep.Events += cell.Faults
+				sweep.Cells = append(sweep.Cells, *cell)
+			}
+		}
+	}
+	// Structural sanity, not a benchmark gate: under the skewed workload at
+	// heavy pressure every policy must keep a usable hit rate (the hot
+	// quarter fits), and the scan-resistant policies must not lose the
+	// mixed-workload hot set wholesale.
+	for _, c := range sweep.Cells {
+		if c.Workload == "zipf" && c.Pressure == "heavy" && c.HitRate < 0.2 {
+			ok = false
+			fmt.Fprintf(b, "\nFAIL: %s hit rate %.3f on zipf/heavy (< 0.2)\n", c.Policy, c.HitRate)
+		}
+	}
+	rep.OK = ok
+	rep.Output = b.Bytes()
+	for _, c := range sweep.Cells {
+		if c.Workload == "mixed" && c.Pressure == "medium" {
+			rep.Measures = append(rep.Measures, Measure{
+				Name:     fmt.Sprintf("policy_%s_mixed_medium_hit_rate", c.Policy),
+				Measured: c.HitRate,
+				Unit:     "ratio",
+			})
+		}
+	}
+	return rep, sweep, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPolicyShootoutSmoke runs a tiny 2-policy × 1-workload grid and checks
+// the append-only trajectory file plus the diff renderer round-trip.
+func TestPolicyShootoutSmoke(t *testing.T) {
+	opt := ShootoutOptions{Policies: []string{"clock", "s3fifo"}, Workloads: []string{"zipf"}, Refs: 2000}
+	rep, sweep, err := PolicyShootout(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("shootout not OK:\n%s", rep.Output)
+	}
+	if want := 2 * 1 * len(policyPressures); len(sweep.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(sweep.Cells), want)
+	}
+	for _, c := range sweep.Cells {
+		if c.Faults <= 0 || c.HitRate < 0 || c.HitRate >= 1 {
+			t.Errorf("%s/%s/%s: implausible cell %+v", c.Policy, c.Workload, c.Pressure, c)
+		}
+		// At light pressure a short ref string may fit in memory; heavy
+		// pressure must always force evictions.
+		if c.Pressure == "heavy" && c.Reclaims <= 0 {
+			t.Errorf("%s/%s/%s: no reclaims — pressure never bit", c.Policy, c.Workload, c.Pressure)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_policy.json")
+	if err := AppendPolicySweep(path, sweep); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendPolicySweep(path, sweep); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(raw), `"cells"`); n != 2 {
+		t.Fatalf("trajectory holds %d sweeps after two appends, want 2", n)
+	}
+	out, err := DiffPolicySweeps(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "clock") || !strings.Contains(out, "s3fifo") {
+		t.Fatalf("diff output missing cells:\n%s", out)
+	}
+	if strings.Contains(out, "regressed") {
+		t.Fatalf("identical sweeps must not flag a regression:\n%s", out)
+	}
+}
+
+// TestPolicyRefsShapes pins the structural properties the shootout relies
+// on: determinism, footprints, and the scan/loop shapes.
+func TestPolicyRefsShapes(t *testing.T) {
+	for _, wl := range []string{"zipf", "scan", "loop", "mixed"} {
+		a, err := policyRefs(wl, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := policyRefs(wl, 3000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: ref %d differs between runs (%d vs %d)", wl, i, a[i], b[i])
+			}
+		}
+	}
+	if _, err := policyRefs("nosuch", 10); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}

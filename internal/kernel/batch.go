@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"epcm/internal/phys"
 )
 
 // Batched page operations. The paper's default manager "batches protection
@@ -238,4 +240,54 @@ func (k *Kernel) ModifyPageFlagsBatch(cred Cred, s *Segment, ranges []PageRange,
 	}
 	k.clock.Advance(k.cost.KernelCall + k.cost.ModifyFlags + time.Duration(total)*k.cost.MappingUpdate)
 	return nil
+}
+
+// GetPageAttributesBatch reads the attributes of an arbitrary set of pages
+// of one segment — scattered, unlike GetPageAttributes' contiguous range —
+// as a single kernel call: the segment lock is taken once and the charge
+// is one KernelCall plus the per-page MappingUpdate/2 of the unbatched
+// read. It is the batched reference-bit sampling hook replacement policies
+// scan with. Results are appended to dst (pass dst[:0] to reuse storage);
+// absent pages report Present=false. With batching disabled it degrades to
+// per-page GetPageAttribute calls.
+func (k *Kernel) GetPageAttributesBatch(s *Segment, pages []int64, dst []PageAttribute) ([]PageAttribute, error) {
+	if len(pages) == 0 {
+		return dst, nil
+	}
+	if !batchOps.Load() {
+		for _, p := range pages {
+			a, err := k.GetPageAttribute(s, p)
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, a)
+		}
+		return dst, nil
+	}
+	k.stats.GetAttrCalls.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.deleted {
+		return dst, ErrNoSuchSegment
+	}
+	for _, p := range pages {
+		if err := checkRange(s, p, 1); err != nil {
+			return dst, err
+		}
+	}
+	for _, p := range pages {
+		a := PageAttribute{Page: p, PFN: phys.NoFrame}
+		if e, ok := s.pages.get(p); ok {
+			f := e.frames[0]
+			a.Present = true
+			a.Flags = e.flags
+			a.PFN = f.PFN()
+			a.PhysAddr = f.PhysAddr()
+			a.Color = f.Color()
+			a.Node = f.Node()
+		}
+		dst = append(dst, a)
+	}
+	k.clock.Advance(k.cost.KernelCall + time.Duration(len(pages))*(k.cost.MappingUpdate/2))
+	return dst, nil
 }

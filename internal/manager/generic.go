@@ -94,8 +94,13 @@ type Config struct {
 	// paper's specializable "page replacement selection routine". It
 	// receives the eligible resident pages (unpinned, constraint-admitted)
 	// and returns the index to evict, or -1 to decline. Referenced/Dirty
-	// flags in the candidates are fresh.
+	// flags in the candidates are fresh. It takes precedence over Policy.
 	SelectVictim func(cands []Victim) int
+	// Policy is the replacement policy driving reclamation (victim
+	// selection plus whatever recency/frequency state it keeps). Nil means
+	// the boot default (normally the §2.2 clock; see SetBootPolicy). A
+	// Policy instance is stateful and must not be shared between managers.
+	Policy Policy
 	// OnFault observes every fault after it is handled.
 	OnFault func(f kernel.Fault)
 	// MapFlags are the page flags set when a page is mapped in
@@ -139,7 +144,18 @@ type Generic struct {
 	resident  []resKey       // pages this manager has placed, clock order
 	resIdx    *residentIndex // page -> index in resident
 	recallIdx map[resKey]int // reclaimed page -> index in freeSlots
-	hand      int            // clock hand
+
+	// policies[0] is the default replacement policy; per-segment bindings
+	// (SetSegmentPolicy) append to the slice and are recorded in
+	// segPolicy. multiPolicy gates the per-page policy lookup so the
+	// single-policy fast path stays a slice load. host is the reusable
+	// PolicyHost adapter handed to every policy call.
+	policies    []Policy
+	segPolicy   map[kernel.SegID]Policy
+	multiPolicy bool
+	host        policyHost
+	// rangeScratch is the host's reusable buffer for batched flag ops.
+	rangeScratch []kernel.PageRange
 
 	// frameScratch is FramesGranted's reusable batch-lookup buffer.
 	frameScratch []*phys.Frame
@@ -187,14 +203,20 @@ func NewGeneric(k *kernel.Kernel, cfg Config) (*Generic, error) {
 		return nil, err
 	}
 	free.MarkStaging() // holding pen: applications never Access these pages
-	return &Generic{
+	if cfg.Policy == nil {
+		cfg.Policy = newBootPolicy()
+	}
+	g := &Generic{
 		k:         k,
 		cfg:       cfg,
 		free:      free,
 		resIdx:    newResidentIndex(),
 		recallIdx: make(map[resKey]int),
 		managed:   make(map[kernel.SegID]*kernel.Segment),
-	}, nil
+		policies:  []Policy{cfg.Policy},
+	}
+	g.host.g = g
+	return g, nil
 }
 
 // ManagerName implements kernel.Manager.
@@ -366,6 +388,12 @@ func (g *Generic) HandleFault(f kernel.Fault) error {
 			}
 			err = g.k.ModifyPageFlags(kernel.AppCred, f.Seg, f.Page, 1, need, 0)
 		}
+		if err == nil {
+			// A protection fault is the one access signal a manager ever
+			// observes for an already-resident page (true cache hits are
+			// invisible; the kernel just sets the Referenced bit).
+			g.policyTouch(resKey{seg: f.Seg, page: f.Page})
+		}
 	case kernel.FaultMissing, kernel.FaultCopyOnWrite:
 		err = g.PageIn(f)
 	default:
@@ -532,6 +560,9 @@ func (g *Generic) addResident(key resKey) {
 	g.resIdx.put(key, len(g.resident))
 	g.resident = append(g.resident, key)
 	g.nResident.Add(1)
+	p := g.policyFor(key.seg)
+	g.host.p = p
+	p.Insert(&g.host, PageID{Seg: key.seg, Page: key.page})
 }
 
 func (g *Generic) removeResident(key resKey) {
@@ -547,9 +578,93 @@ func (g *Generic) removeResident(key resKey) {
 	if i < len(g.resident) {
 		g.resIdx.put(g.resident[i], i)
 	}
-	if g.hand > last {
-		g.hand = 0
+	p := g.policyFor(key.seg)
+	g.host.p = p
+	p.Remove(&g.host, PageID{Seg: key.seg, Page: key.page})
+}
+
+// policyFor returns the replacement policy bound to a segment (the default
+// unless SetSegmentPolicy overrode it).
+func (g *Generic) policyFor(seg *kernel.Segment) Policy {
+	if !g.multiPolicy {
+		return g.policies[0]
 	}
+	if p, ok := g.segPolicy[seg.ID()]; ok {
+		return p
+	}
+	return g.policies[0]
+}
+
+// Policy returns the manager's default replacement policy.
+func (g *Generic) Policy() Policy { return g.policies[0] }
+
+// SegmentPolicy returns the policy governing one segment's pages.
+func (g *Generic) SegmentPolicy(seg *kernel.Segment) Policy { return g.policyFor(seg) }
+
+// SetSegmentPolicy binds a replacement policy to one segment, overriding
+// the manager's default for that segment's pages; nil restores the
+// default. Pages of the segment already resident are re-homed into the new
+// policy's state. The policy instance must not be shared with another
+// manager (it runs on this manager's delivery lane).
+func (g *Generic) SetSegmentPolicy(seg *kernel.Segment, p Policy) {
+	old := g.policyFor(seg)
+	if p == nil || p == g.policies[0] {
+		p = g.policies[0]
+		delete(g.segPolicy, seg.ID())
+		if len(g.segPolicy) == 0 {
+			g.multiPolicy = false
+		}
+	} else {
+		known := false
+		for _, q := range g.policies {
+			if q == p {
+				known = true
+				break
+			}
+		}
+		if !known {
+			g.policies = append(g.policies, p)
+		}
+		if g.segPolicy == nil {
+			g.segPolicy = make(map[kernel.SegID]Policy)
+		}
+		g.segPolicy[seg.ID()] = p
+		g.multiPolicy = true
+	}
+	if p == old {
+		return
+	}
+	// Re-home this segment's resident pages: out of the old policy's
+	// state, into the new one's.
+	for _, key := range g.resident {
+		if key.seg != seg {
+			continue
+		}
+		id := PageID{Seg: key.seg, Page: key.page}
+		g.host.p = old
+		old.Remove(&g.host, id)
+		g.host.p = p
+		p.Insert(&g.host, id)
+	}
+}
+
+// ManageWithPolicy registers the manager as seg's manager and binds p as
+// the segment's replacement policy — per-segment policy selection at
+// SetSegmentManager time.
+func (g *Generic) ManageWithPolicy(seg *kernel.Segment, p Policy) {
+	g.Manage(seg)
+	g.SetSegmentPolicy(seg, p)
+}
+
+// policyTouch feeds a manager-visible access signal (a protection fault on
+// a resident page) to the page's policy.
+func (g *Generic) policyTouch(key resKey) {
+	if _, ok := g.resIdx.get(key); !ok {
+		return
+	}
+	p := g.policyFor(key.seg)
+	g.host.p = p
+	p.Touch(&g.host, PageID{Seg: key.seg, Page: key.page})
 }
 
 // Victim describes one eviction candidate for a SelectVictim policy.
@@ -561,15 +676,46 @@ type Victim struct {
 
 // Reclaim reclaims until n frames satisfying the constraint have been
 // migrated back to the free-page segment. With a SelectVictim policy
-// installed, that policy picks every victim; otherwise the clock algorithm
-// of §2.2 runs: referenced pages get a second chance (their Referenced flag
-// is cleared), pinned pages are skipped, and dirty pages are written back
-// unless marked discardable. It returns the number reclaimed.
+// installed, that policy picks every victim; otherwise the manager's
+// replacement Policy does (the default clock of §2.2: referenced pages get
+// a second chance, pinned pages are skipped) and dirty pages are written
+// back unless marked discardable. It returns the number reclaimed.
 func (g *Generic) Reclaim(n int, constraint phys.Range) (int, error) {
 	if g.cfg.SelectVictim != nil {
 		return g.reclaimByPolicy(n, constraint)
 	}
-	return g.reclaimClock(n, constraint)
+	reclaimed := 0
+	for pi := 0; pi < len(g.policies) && reclaimed < n; pi++ {
+		p := g.policies[pi]
+		for reclaimed < n {
+			g.host.p = p
+			g.host.constraint = constraint
+			id, flags, ok, err := p.Victim(&g.host)
+			if err != nil {
+				return reclaimed, err
+			}
+			if !ok {
+				break
+			}
+			key := resKey{seg: id.Seg, page: id.Page}
+			// Conformance teeth: a policy that names a non-resident or
+			// pinned victim is broken; fail loudly instead of corrupting
+			// the free list.
+			if _, res := g.resIdx.get(key); !res {
+				return reclaimed, fmt.Errorf("manager %s: policy %s chose non-resident page %d of %v",
+					g.cfg.Name, p.PolicyName(), id.Page, id.Seg)
+			}
+			if flags.Has(kernel.FlagPinned) {
+				return reclaimed, fmt.Errorf("manager %s: policy %s chose pinned page %d of %v",
+					g.cfg.Name, p.PolicyName(), id.Page, id.Seg)
+			}
+			if err := g.evict(key, flags); err != nil {
+				return reclaimed, err
+			}
+			reclaimed++
+		}
+	}
+	return reclaimed, nil
 }
 
 // reclaimByPolicy drives the specialized victim-selection routine.
@@ -596,50 +742,6 @@ func (g *Generic) reclaimByPolicy(n int, constraint phys.Range) (int, error) {
 		}
 		v := cands[idx]
 		if err := g.evict(resKey{seg: v.Seg, page: v.Page}, v.Flags); err != nil {
-			return reclaimed, err
-		}
-		reclaimed++
-	}
-	return reclaimed, nil
-}
-
-// reclaimClock is the default clock algorithm.
-func (g *Generic) reclaimClock(n int, constraint phys.Range) (int, error) {
-	reclaimed := 0
-	sweeps := 2 * len(g.resident)
-	for step := 0; step < sweeps && reclaimed < n && len(g.resident) > 0; step++ {
-		if g.hand >= len(g.resident) {
-			g.hand = 0
-		}
-		key := g.resident[g.hand]
-		a, err := g.k.GetPageAttribute(key.seg, key.page)
-		if err != nil {
-			return reclaimed, err
-		}
-		if !a.Present {
-			// The page left this manager's control (e.g. application
-			// migrated it); forget it.
-			g.removeResident(key)
-			continue
-		}
-		if a.Flags.Has(kernel.FlagPinned) {
-			g.hand++
-			continue
-		}
-		frame := key.seg.FrameAt(key.page)
-		if !constraint.Admits(frame) {
-			g.hand++
-			continue
-		}
-		if a.Flags.Has(kernel.FlagReferenced) {
-			// Second chance.
-			if err := g.k.ModifyPageFlags(kernel.AppCred, key.seg, key.page, 1, 0, kernel.FlagReferenced); err != nil {
-				return reclaimed, err
-			}
-			g.hand++
-			continue
-		}
-		if err := g.evict(key, a.Flags); err != nil {
 			return reclaimed, err
 		}
 		reclaimed++
@@ -773,6 +875,12 @@ func (g *Generic) SegmentDeleted(s *kernel.Segment) {
 	}
 	g.resIdx.dropSeg(s)
 	delete(g.managed, s.ID())
+	if g.multiPolicy {
+		delete(g.segPolicy, s.ID())
+		if len(g.segPolicy) == 0 {
+			g.multiPolicy = false
+		}
+	}
 }
 
 // DropSegmentPages evicts every resident page of one segment without

@@ -7,6 +7,7 @@
 #   scripts/benchdiff.sh compare             # run again, print old vs new
 #   scripts/benchdiff.sh diff OLD.bench NEW.bench   # compare two files
 #   scripts/benchdiff.sh scale               # diff the last two scale sweeps
+#   scripts/benchdiff.sh policy              # diff the last two policy shootout sweeps
 #
 # The benchmark set is the delivery plane's hot paths: the fault-path and
 # table harness benchmarks, the delivery-plane scaling benchmark, and the
@@ -75,8 +76,15 @@ scale)
     # never fails the build.
     go run ./cmd/reproduce -scalediff || true
     ;;
+policy)
+    # Per-cell diff (hit rate and model fault latency) of the last two
+    # sweeps recorded in BENCH_policy.json. Hit rates are virtual-time
+    # deterministic, so a flagged regression here is a real behaviour
+    # change, not machine noise — still advisory, never fails the build.
+    go run ./cmd/reproduce -policydiff || true
+    ;;
 *)
-    echo "usage: benchdiff.sh [baseline|compare|diff OLD NEW|scale]" >&2
+    echo "usage: benchdiff.sh [baseline|compare|diff OLD NEW|scale|policy]" >&2
     exit 2
     ;;
 esac

@@ -33,10 +33,17 @@ go test -run='^$' -fuzz='^FuzzMappingTable$' -fuzztime=10s ./internal/kernel
 go test -run='^$' -fuzz='^FuzzCASTable$' -fuzztime=10s ./internal/kernel
 go test -run='^$' -fuzz='^FuzzUIO$' -fuzztime=10s ./internal/uio
 go test -run='^$' -fuzz='^FuzzMailbox$' -fuzztime=10s ./internal/plane
+go test -run='^$' -fuzz='^FuzzPolicy$' -fuzztime=10s ./internal/manager
 
 echo "== bench smoke (1 iteration) =="
 go test -bench=Harness -benchtime=1x -run='^$' .
 go test -bench=DeliveryPlane -benchtime=1x -run='^$' ./internal/experiments
 go test -bench=BatchMigrate -benchtime=1x -run='^$' ./internal/kernel
+
+echo "== policy shootout smoke (2 policies x 1 workload) =="
+policy_tmp=$(mktemp)
+trap 'rm -f "$policy_tmp"' EXIT
+go run ./cmd/reproduce -table 1 -policy -policies clock,s3fifo -policyworkloads zipf \
+    -policyrefs 4000 -policyout "$policy_tmp" > /dev/null
 
 echo "All checks passed."
