@@ -22,6 +22,10 @@
 //	reproduce -policy -policies lru,s3fifo -policyworkloads mixed
 //	reproduce -policydiff            # diff the last two shootout sweeps and exit
 //	reproduce -reclaim lru           # boot-default replacement policy for the tables
+//	reproduce -timeengine sharded    # sharded virtual-time engine (golden stays identical)
+//	reproduce -time                  # virtual-time engine scaling sweep -> BENCH_time.json
+//	reproduce -time -timeshards 1,4  # sweep over chosen shard counts
+//	reproduce -timediff              # diff the last two time sweeps and exit
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 	"epcm/internal/harness"
 	"epcm/internal/kernel"
 	"epcm/internal/manager"
+	"epcm/internal/sim"
 )
 
 // trajectory is the BENCH_reproduce.json record: one wall-clock and
@@ -80,7 +85,22 @@ func main() {
 	policyOut := flag.String("policyout", "BENCH_policy.json", "append-only trajectory file for the -policy shootout")
 	policyDiff := flag.Bool("policydiff", false, "print a per-cell diff of the last two sweeps in the -policyout file and exit")
 	reclaim := flag.String("reclaim", "", "boot-default replacement policy for all managers: clock, lru, lfu, s3fifo or mglru")
+	timeEngine := flag.String("timeengine", "serial", "virtual-time engine: serial (golden reference) or sharded (windowed conservative)")
+	timeTbl := flag.Bool("time", false, "run the virtual-time engine scaling sweep and append it to -timefile")
+	timeShards := flag.String("timeshards", "1,2,4,8", "comma-separated shard counts for the -time sweep")
+	timeEvents := flag.Int("timeevents", 0, "total sleep steps per -time cell (default: scaled to the widest cell)")
+	timeFile := flag.String("timefile", "BENCH_time.json", "append-only trajectory file for the -time sweep")
+	timeDiff := flag.Bool("timediff", false, "print a per-cell diff of the last two sweeps in the -timefile and exit")
 	flag.Parse()
+	if *timeDiff {
+		out, err := experiments.DiffTimeSweeps(*timeFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(2)
+		}
+		os.Stdout.WriteString(out)
+		return
+	}
 	if *scaleDiff {
 		out, err := experiments.DiffScaleSweeps("BENCH_scale.json")
 		if err != nil {
@@ -107,6 +127,10 @@ func main() {
 	}
 	kernel.SetBatchOps(*batch)
 	if err := kernel.SetBootScheduler(*sched); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(2)
+	}
+	if err := sim.SetBootTimeEngine(*timeEngine); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(2)
 	}
@@ -198,6 +222,28 @@ func main() {
 			ok = ok && rep.OK
 			if err := experiments.AppendBenchSweep("BENCH_scale.json", "scale-sweep", sweep); err != nil {
 				fmt.Fprintln(os.Stderr, "reproduce: writing BENCH_scale.json:", err)
+				ok = false
+			}
+		}
+	}
+
+	if *timeTbl {
+		// The sweep raises GOMAXPROCS for its widest cell and measures wall
+		// time, so run after the harness tasks have drained.
+		shards, err := parseManagers(*timeShards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(2)
+		}
+		rep, sweep, err := experiments.TimeSweep(*timeEvents, shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce: time sweep:", err)
+			ok = false
+		} else {
+			os.Stdout.Write(rep.Output)
+			ok = ok && rep.OK
+			if err := experiments.AppendTimeSweep(*timeFile, sweep); err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce: writing", *timeFile+":", err)
 				ok = false
 			}
 		}

@@ -62,6 +62,13 @@ type Config struct {
 	// "lru", "lfu", "s3fifo" or "mglru". It applies to the default manager
 	// and to NewAppManager; "" keeps the process boot default.
 	ReclaimPolicy string
+	// TimeEngine selects the virtual-time engine environments built after
+	// this Boot use: "serial" (the golden-reference default) or "sharded"
+	// (per-manager event queues advanced in conservative lookahead
+	// windows); "" keeps whatever mode the process selected with
+	// sim.SetBootTimeEngine. Like Scheduler, it is a process-wide boot
+	// knob, not a per-system one.
+	TimeEngine string
 }
 
 // System is a booted V++ machine.
@@ -117,6 +124,11 @@ func Boot(cfg Config) (*System, error) {
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown scheduler %q (want serial or concurrent)", cfg.Scheduler)
+	}
+	if cfg.TimeEngine != "" {
+		if err := sim.SetBootTimeEngine(cfg.TimeEngine); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 
 	latency := storage.NetworkServer()

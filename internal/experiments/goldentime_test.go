@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"epcm/internal/sim"
+)
+
+// TestGoldenShardedTimeEngine re-runs every paper table with the boot
+// virtual-time engine flipped to "sharded" and compares the output
+// byte-for-byte against testdata/reproduce.golden. The differential pin for
+// the engine refactor: a single-shard sharded environment drains the same
+// event heap in the same (at, seq) order through the windowed machinery, so
+// -timeengine sharded must not move a single byte of the paper tables. If a
+// window boundary, merge, or clock hand-off ever perturbs event order, this
+// test names the first divergent byte.
+func TestGoldenShardedTimeEngine(t *testing.T) {
+	prev := sim.BootTimeEngine()
+	if err := sim.SetBootTimeEngine("sharded"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := sim.SetBootTimeEngine(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	want, err := os.ReadFile("testdata/reproduce.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	for _, run := range []func() (*Report, error){
+		Table1,
+		Tables23,
+		func() (*Report, error) { return Table4(0, 0) },
+	} {
+		rep, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Write(rep.Output)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		i := 0
+		for i < len(want) && i < got.Len() && want[i] == got.Bytes()[i] {
+			i++
+		}
+		t.Fatalf("sharded time engine diverged from golden at byte %d\n--- got around divergence ---\n%s",
+			i, context(got.Bytes(), i))
+	}
+}
+
+// TestTimeSweepSmoke runs a miniature sweep end to end: determinism across
+// repetitions is asserted inside timeCell, and the model-throughput scaling
+// gate must hold even at smoke size.
+func TestTimeSweepSmoke(t *testing.T) {
+	rep, sweep, err := TimeSweep(16384, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("time sweep gate failed:\n%s", rep.Output)
+	}
+	if sweep.ModelScaling1To4 < 1.5 {
+		t.Fatalf("model scaling 1->4 = %.2fx, want >= 1.5x", sweep.ModelScaling1To4)
+	}
+	if len(sweep.Cells) != 4 { // serial baseline + 3 sharded cells
+		t.Fatalf("cells = %d, want 4", len(sweep.Cells))
+	}
+	for _, c := range sweep.Cells {
+		if c.Events <= 0 || c.MakespanMS <= 0 {
+			t.Fatalf("degenerate cell %+v", c)
+		}
+		if c.Engine == "sharded" && c.Shards > 1 && c.CrossSends == 0 {
+			t.Fatalf("sharded cell %d shards exercised no cross-shard sends", c.Shards)
+		}
+	}
+}
+
+// TestAppendAndDiffTimeSweeps checks the BENCH_time.json trajectory file
+// round-trips: append twice, then diff the last two sweeps.
+func TestAppendAndDiffTimeSweeps(t *testing.T) {
+	path := t.TempDir() + "/BENCH_time.json"
+	for i := 0; i < 2; i++ {
+		sweep := &TimeSweepResult{
+			GeneratedAt: "2026-01-01T00:00:00Z",
+			Cells: []TimeCell{{
+				Engine: "sharded", Shards: 4, Events: 1000,
+				MakespanMS: 10, ModelEventsPerSec: float64(100000 * (i + 1)),
+			}},
+		}
+		if err := AppendTimeSweep(path, sweep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := DiffTimeSweeps(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(out), []byte("sharded")) {
+		t.Fatalf("diff output missing cells:\n%s", out)
+	}
+}

@@ -77,3 +77,62 @@ func TestPolicyRefsShapes(t *testing.T) {
 		t.Fatal("unknown workload must error")
 	}
 }
+
+// TestFIFOShootoutCell runs one real shootout cell under the new strict
+// FIFO policy: a kernel, a fixed pool, a manager bound to "fifo", and the
+// zipf reference string at heavy pressure. FIFO has no recency protection,
+// so it must fault more than clock's second-chance sweep on the same cell —
+// the behavioural difference that proves Touch/reference bits really are
+// ignored end to end.
+func TestFIFOShootoutCell(t *testing.T) {
+	refs, err := policyRefs("zipf", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := policyCell("fifo", "zipf", "heavy", refs, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Faults <= 0 || cell.Reclaims <= 0 {
+		t.Fatalf("fifo cell never reclaimed: %+v", cell)
+	}
+	if cell.HitRate <= 0.2 || cell.HitRate >= 1 {
+		t.Fatalf("fifo hit rate %.3f implausible on zipf/heavy", cell.HitRate)
+	}
+	clock, err := policyCell("clock", "zipf", "heavy", refs, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Faults < clock.Faults {
+		t.Fatalf("strict fifo out-performed clock on a skewed workload (fifo %d faults, clock %d): recency is leaking in",
+			cell.Faults, clock.Faults)
+	}
+}
+
+// TestRandomShootoutCell runs one real shootout cell under the new
+// uniform-random policy and re-runs it to pin determinism: the fixed-seed
+// RNG must give identical fault counts and virtual latency both times.
+func TestRandomShootoutCell(t *testing.T) {
+	refs, err := policyRefs("zipf", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := policyCell("random", "zipf", "heavy", refs, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Faults <= 0 || first.Reclaims <= 0 {
+		t.Fatalf("random cell never reclaimed: %+v", first)
+	}
+	if first.HitRate <= 0.2 || first.HitRate >= 1 {
+		t.Fatalf("random hit rate %.3f implausible on zipf/heavy", first.HitRate)
+	}
+	second, err := policyCell("random", "zipf", "heavy", refs, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Faults != second.Faults || first.FaultLatencyUS != second.FaultLatencyUS {
+		t.Fatalf("random cell not deterministic: %d/%f vs %d/%f faults/latency",
+			first.Faults, first.FaultLatencyUS, second.Faults, second.FaultLatencyUS)
+	}
+}

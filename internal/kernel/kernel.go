@@ -116,6 +116,10 @@ type Kernel struct {
 	interceptor DeliveryInterceptor
 	defaultMgr  Manager
 	onRevoke    func(dead Manager, adopted []*Segment)
+	// timeShards maps Manager -> *sim.Shard for managers bound to the
+	// sharded virtual-time engine (timeshard.go). Populated at boot; fault
+	// path reads are lock-free Loads.
+	timeShards sync.Map
 }
 
 // New boots a kernel over the given memory, clock and cost model. Following
@@ -675,27 +679,33 @@ func (k *Kernel) GetPageAttribute(s *Segment, page int64) (PageAttribute, error)
 	return a, nil
 }
 
-// chargeDelivery charges the cost of transferring control to a manager.
-func (k *Kernel) chargeDelivery(d DeliveryMode) {
+// chargeDelivery charges the cost of transferring control to a manager and
+// reports the amount, so the caller can mirror it onto the manager's time
+// shard.
+func (k *Kernel) chargeDelivery(d DeliveryMode) time.Duration {
+	c := k.cost.ContextSwitch
 	if d == DeliverSameProcess {
-		k.clock.Advance(k.cost.Upcall)
-	} else {
-		k.clock.Advance(k.cost.ContextSwitch)
+		c = k.cost.Upcall
 	}
+	k.clock.Advance(c)
+	return c
 }
 
 // chargeReturn charges the cost of resuming the application after the
-// manager finishes.
-func (k *Kernel) chargeReturn(d DeliveryMode) {
+// manager finishes and reports the amount.
+func (k *Kernel) chargeReturn(d DeliveryMode) time.Duration {
+	var c time.Duration
 	if d == DeliverSameProcess {
 		// On the R3000 the manager resumes the application directly.
-		k.clock.Advance(k.cost.ResumeDirect)
+		c = k.cost.ResumeDirect
 	} else {
 		// Reply IPC, then the kernel restores the faulting process and
 		// patches its translations.
-		k.clock.Advance(k.cost.ContextSwitch + k.cost.KernelCall +
-			k.cost.ResumeViaKernel + 2*k.cost.MappingUpdate)
+		c = k.cost.ContextSwitch + k.cost.KernelCall +
+			k.cost.ResumeViaKernel + 2*k.cost.MappingUpdate
 	}
+	k.clock.Advance(c)
+	return c
 }
 
 // Access simulates one memory reference by an application: page `page` of

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"epcm/internal/plane"
+	"epcm/internal/sim"
 )
 
 // This file is the fault-delivery plane. Faults, deletion notices and
@@ -118,7 +119,9 @@ func (k *Kernel) processFault(m Manager, f Fault) error {
 	case FaultCopyOnWrite:
 		k.stats.COWFaults.Add(1)
 	}
+	sh := k.timeShardOf(m)
 	k.clock.Advance(k.cost.Trap)
+	tickShard(sh, k.cost.Trap)
 	if k.interceptor != nil {
 		switch r := k.interceptor(f, m); {
 		case r.Crash:
@@ -136,9 +139,10 @@ func (k *Kernel) processFault(m Manager, f Fault) error {
 		case r.Delay > 0:
 			k.stats.DelayedDeliveries.Add(1)
 			k.clock.Advance(r.Delay)
+			tickShard(sh, r.Delay)
 		}
 	}
-	k.chargeDelivery(m.Delivery())
+	tickShard(sh, k.chargeDelivery(m.Delivery()))
 	if err := m.HandleFault(f); err != nil {
 		if errors.Is(err, ErrManagerCrashed) {
 			// The manager died mid-handling. Revoke and let the retry loop
@@ -149,7 +153,7 @@ func (k *Kernel) processFault(m Manager, f Fault) error {
 		}
 		return fmt.Errorf("%w: %q on %v: %w", ErrManagerFailed, m.ManagerName(), f, err)
 	}
-	k.chargeReturn(m.Delivery())
+	tickShard(sh, k.chargeReturn(m.Delivery()))
 	return nil
 }
 
@@ -157,7 +161,7 @@ func (k *Kernel) processFault(m Manager, f Fault) error {
 // cost, and the manager's salvage pass.
 func (k *Kernel) processDelete(m Manager, s *Segment) {
 	k.stats.ManagerCalls.Add(1)
-	k.chargeDelivery(m.Delivery())
+	tickShard(k.timeShardOf(m), k.chargeDelivery(m.Delivery()))
 	m.SegmentDeleted(s)
 }
 
@@ -201,7 +205,7 @@ func (s *serialScheduler) post(m Manager, d delivery) error {
 	res := &deliveryResult{}
 	d.mgr = m
 	d.res = res
-	s.group.Enqueue(s.box(m), s.k.clock.Now(), d)
+	s.group.Enqueue(s.box(m), s.k.stampFor(m), d)
 	for !res.done {
 		env, ok := s.group.PopOldest()
 		if !ok {
@@ -269,6 +273,12 @@ type lane struct {
 	// maint is the manager's optional idle hook (LaneMaintainer), resolved
 	// once at lane creation so the hot path pays no type assertion.
 	maint LaneMaintainer
+	// shardClock stamps this lane's envelopes: the manager's time-shard
+	// clock when one is bound, else the kernel's global clock. Resolved once
+	// at lane creation — the shard-affinity side of the sharded virtual-time
+	// engine (lane = manager = time shard) — so the enqueue path pays one
+	// pointer read instead of a map lookup.
+	shardClock *sim.Clock
 	// buf is the executor's drain batch. Only the token holder touches it,
 	// so it needs no synchronization.
 	buf [laneDrainBatch]plane.Envelope[delivery]
@@ -333,7 +343,7 @@ func (s *concurrentScheduler) laneOf(m Manager) *lane {
 	if v, ok := s.lanes.Load(m); ok {
 		return v.(*lane)
 	}
-	ln := &lane{ring: plane.NewRing[delivery](laneRingCap)}
+	ln := &lane{ring: plane.NewRing[delivery](laneRingCap), shardClock: s.k.TimeShardClock(m)}
 	if lm, ok := m.(LaneMaintainer); ok {
 		ln.maint = lm
 	}
@@ -412,7 +422,7 @@ func (s *concurrentScheduler) post(m Manager, d delivery) error {
 		return err
 	}
 	d.reply = make(chan error, 1)
-	if !ln.ring.Put(s.k.clock.Now(), d) {
+	if !ln.ring.Put(ln.shardClock.Now(), d) {
 		return nil // revoked while posting: lost delivery
 	}
 	if ln.token.CompareAndSwap(false, true) {

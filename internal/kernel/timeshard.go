@@ -1,0 +1,75 @@
+package kernel
+
+import (
+	"time"
+
+	"epcm/internal/sim"
+)
+
+// Time-shard binding: the kernel side of the sharded virtual-time engine.
+//
+// Under the serial engine one global clock orders everything. Under the
+// sharded engine each manager owns a sim.Shard — its own event queue and
+// local clock — and the delivery plane becomes the shard boundary: every
+// fault, deletion notice and control message a manager receives is charged
+// to that manager's shard clock as well as the global clock, and the
+// scheduler stamps the manager's envelopes with the shard's local time, so
+// per-manager delivery streams stay ordered by the time that manager has
+// actually consumed rather than by a clock some other manager raced ahead.
+//
+// The per-shard clocks form the per-manager delivery ledger: after a run,
+// shard i's clock reads the total virtual time manager i spent fielding
+// deliveries, and the maximum across shards is the makespan the sharded
+// engine's model throughput is measured against (experiments.TimeSweep).
+//
+// Binding is a boot-time operation — bind every manager before delivery
+// traffic starts, the same discipline as SetScheduler and the interceptor.
+// Lookups on the fault path are lock-free sync.Map loads, and the
+// concurrent scheduler caches the bound clock in the manager's lane so the
+// stamp costs one pointer read.
+
+// BindTimeShard gives manager m its own time shard. Subsequent deliveries
+// to m are stamped with the shard's local clock and charge their delivery
+// costs (trap, upcall or IPC, resume) to it as well as to the global clock.
+// Bind at boot, before delivery traffic starts; a nil shard unbinds.
+func (k *Kernel) BindTimeShard(m Manager, sh *sim.Shard) {
+	if sh == nil {
+		k.timeShards.Delete(m)
+		return
+	}
+	k.timeShards.Store(m, sh)
+}
+
+// timeShardOf returns m's bound time shard, or nil when m rides the global
+// clock only.
+func (k *Kernel) timeShardOf(m Manager) *sim.Shard {
+	if v, ok := k.timeShards.Load(m); ok {
+		return v.(*sim.Shard)
+	}
+	return nil
+}
+
+// TimeShardClock returns the clock deliveries to m are stamped with: m's
+// shard clock when bound, the kernel's global clock otherwise.
+func (k *Kernel) TimeShardClock(m Manager) *sim.Clock {
+	if sh := k.timeShardOf(m); sh != nil {
+		return sh.Clock()
+	}
+	return k.clock
+}
+
+// stampFor returns the envelope timestamp for a delivery to m: the
+// manager's local virtual time when a shard is bound, else global time.
+func (k *Kernel) stampFor(m Manager) time.Duration {
+	return k.TimeShardClock(m).Now()
+}
+
+// tickShard charges d of virtual delivery time to a manager's shard clock.
+// A nil shard (unbound manager) is a no-op. Shards tick only while their
+// manager's messages process, which the delivery plane serializes per
+// manager, so no two goroutines tick one shard concurrently.
+func tickShard(sh *sim.Shard, d time.Duration) {
+	if sh != nil && d > 0 {
+		sh.Clock().Advance(d)
+	}
+}

@@ -1,0 +1,110 @@
+package manager
+
+import "epcm/internal/kernel"
+
+// fifoPolicy is true first-in-first-out: pages are evicted in strict
+// arrival order, with no recency signal of any kind — Touch is a no-op and
+// the reference bit grants no second chance. FIFO is the classic baseline
+// the paper-era replacement literature measures everything against (and the
+// victim of Bélády's anomaly); having it registered makes the shootout's
+// recency columns interpretable. The queue reuses the LRU arena idiom:
+// index-linked nodes, so steady-state operation allocates nothing.
+type fifoPolicy struct {
+	nodes []lruNode
+	freed []int32
+	idx   map[PageID]int32
+	head  int32 // newest arrival; -1 when empty
+	tail  int32 // oldest arrival (next victim); -1 when empty
+}
+
+// NewFIFOPolicy returns a strict arrival-order replacement policy.
+func NewFIFOPolicy() Policy { return &fifoPolicy{idx: map[PageID]int32{}, head: -1, tail: -1} }
+
+func init() { RegisterPolicy("fifo", NewFIFOPolicy) }
+
+func (p *fifoPolicy) PolicyName() string { return "fifo" }
+
+func (p *fifoPolicy) Insert(_ PolicyHost, id PageID) {
+	if _, dup := p.idx[id]; dup {
+		return
+	}
+	var n int32
+	if l := len(p.freed); l > 0 {
+		n = p.freed[l-1]
+		p.freed = p.freed[:l-1]
+		p.nodes[n] = lruNode{id: id}
+	} else {
+		n = int32(len(p.nodes))
+		p.nodes = append(p.nodes, lruNode{id: id})
+	}
+	p.idx[id] = n
+	p.linkFront(n)
+}
+
+// Touch is deliberately a no-op: arrival order is the only signal FIFO uses.
+func (p *fifoPolicy) Touch(_ PolicyHost, _ PageID) {}
+
+func (p *fifoPolicy) Remove(_ PolicyHost, id PageID) {
+	n, ok := p.idx[id]
+	if !ok {
+		return
+	}
+	p.unlink(n)
+	delete(p.idx, id)
+	p.freed = append(p.freed, n)
+}
+
+func (p *fifoPolicy) Victim(h PolicyHost) (PageID, kernel.PageFlags, bool, error) {
+	// One pass from the oldest arrival, skipping pages the pass cannot
+	// take (pinned, wrong frame constraint) without reordering them —
+	// their queue position is preserved for the next pass.
+	for cur := p.tail; cur >= 0; {
+		n := p.nodes[cur]
+		id := n.id
+		if !h.Owned(id) {
+			cur = n.prev
+			continue
+		}
+		a, err := h.Sample(id)
+		if err != nil {
+			return PageID{}, 0, false, err
+		}
+		if !a.Present {
+			h.Forget(id) // fires Remove, unlinking cur
+			cur = n.prev
+			continue
+		}
+		if a.Flags.Has(kernel.FlagPinned) || !h.Admits(id) {
+			cur = n.prev
+			continue
+		}
+		return id, a.Flags, true, nil
+	}
+	return PageID{}, 0, false, nil
+}
+
+func (p *fifoPolicy) linkFront(n int32) {
+	p.nodes[n].prev = -1
+	p.nodes[n].next = p.head
+	if p.head >= 0 {
+		p.nodes[p.head].prev = n
+	}
+	p.head = n
+	if p.tail < 0 {
+		p.tail = n
+	}
+}
+
+func (p *fifoPolicy) unlink(n int32) {
+	prev, next := p.nodes[n].prev, p.nodes[n].next
+	if prev >= 0 {
+		p.nodes[prev].next = next
+	} else {
+		p.head = next
+	}
+	if next >= 0 {
+		p.nodes[next].prev = prev
+	} else {
+		p.tail = prev
+	}
+}

@@ -115,6 +115,18 @@ func DECstation5000() *CostModel {
 	}
 }
 
+// MinDeliveryLatency is the cheapest possible cross-manager delivery the
+// model admits: a hardware trap plus the upcall that transfers control into
+// a manager (the efficient same-process mode of §2.1). Every fault
+// delivery, deletion notice and control message pays at least this much
+// before any other manager can observe it, so the sharded virtual-time
+// engine uses it as the conservative lookahead bound — a cross-shard event
+// can never land closer to the sender's clock than this.
+// 40 µs on the DECstation 5000 calibration.
+func (c *CostModel) MinDeliveryLatency() time.Duration {
+	return c.Trap + c.Upcall
+}
+
 // The composed paths below document, in one place, which primitives each
 // measured operation is built from. The kernel and manager implementations
 // charge the same primitives as they execute; these helpers exist so tests

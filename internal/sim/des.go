@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"time"
 )
 
@@ -11,30 +10,122 @@ import (
 // simulated by looping for some number of instructions and a page fault is
 // simulated by a delay").
 //
-// Simulated processes are goroutines, but exactly one runs at a time and
-// all ordering is decided by the virtual-time event queue, so runs are
-// deterministic. A process advances virtual time with Proc.Sleep, contends
-// for Resources (e.g. the six processors of the SGI 4D/380), and blocks on
-// lock queues via Proc.Park / Env.Wake.
+// Simulated processes are goroutines, but within one shard exactly one runs
+// at a time and all ordering is decided by the virtual-time event queue, so
+// runs are deterministic. A process advances virtual time with Proc.Sleep,
+// contends for Resources (e.g. the six processors of the SGI 4D/380), and
+// blocks on lock queues via Proc.Park / Env.Wake.
+//
+// The environment runs on one of two virtual-time engines (shard.go):
+//
+//   - the serial engine (the default) drains a single event heap in strict
+//     (at, seq) order — the golden reference every experiment output is
+//     pinned against;
+//   - the sharded engine partitions events across per-shard heaps, each
+//     with its own local clock, advanced concurrently in conservative
+//     lookahead windows with a deterministic merge barrier for cross-shard
+//     messages. With a single shard its event order is identical to the
+//     serial engine's, which is what keeps reproduce.golden byte-identical
+//     under -timeengine sharded.
+//
+// The context-free Env methods (At, After, Go, Wake, ...) operate on shard
+// 0, so serial-era code runs unchanged on either engine; shard-aware code
+// pins work to shards through Env.Shard handles.
 type Env struct {
-	clock   *Clock
-	events  eventHeap
-	seq     int64
-	parked  chan struct{} // signalled when the running proc parks or finishes
-	active  int           // procs started and not yet finished
-	blocked int           // procs parked with no pending wake event
+	clock     *Clock
+	shards    []*Shard
+	lookahead time.Duration
+	windowed  bool // sharded engine: drain in conservative lookahead windows
+	windows   int64
+	// active is the per-window scratch list of shards with runnable events,
+	// reused so the window loop does not allocate.
+	active []*Shard
 }
 
-// NewEnv returns an environment driving the given clock.
+// NewEnv returns an environment driving the given clock, on the engine the
+// process selected with SetBootTimeEngine: the serial engine by default, or
+// a single-shard sharded engine under "sharded" — same event order, but the
+// drain runs through the windowed machinery.
 func NewEnv(clock *Clock) *Env {
-	return &Env{clock: clock, parked: make(chan struct{})}
+	if bootSharded {
+		return NewShardedEnv(clock, 1, 0)
+	}
+	return NewSerialEnv(clock)
 }
 
-// Clock returns the environment's virtual clock.
+// NewSerialEnv returns an environment on the serial engine regardless of
+// the boot-time engine selection.
+func NewSerialEnv(clock *Clock) *Env { return newEnv(clock, 1, 0, false) }
+
+// NewShardedEnv returns an environment on the sharded engine with the given
+// shard count. lookahead is the conservative bound on cross-shard message
+// latency; <= 0 selects the cost model's minimum delivery latency
+// (CostModel.MinDeliveryLatency on the DECstation 5000 calibration), the
+// hard lower bound any cross-manager message pays in this simulation.
+// Shard 0 shares the environment's global clock; the others get fresh local
+// clocks, so a sharded environment is normally built on a clock at zero.
+func NewShardedEnv(clock *Clock, shards int, lookahead time.Duration) *Env {
+	if shards <= 0 {
+		panic("sim: sharded env needs at least one shard")
+	}
+	if lookahead <= 0 {
+		lookahead = DECstation5000().MinDeliveryLatency()
+	}
+	return newEnv(clock, shards, lookahead, true)
+}
+
+func newEnv(clock *Clock, shards int, lookahead time.Duration, windowed bool) *Env {
+	e := &Env{clock: clock, lookahead: lookahead, windowed: windowed}
+	e.shards = make([]*Shard, shards)
+	for i := range e.shards {
+		c := clock
+		if i > 0 {
+			c = &Clock{}
+		}
+		e.shards[i] = &Shard{env: e, id: i, clock: c, parked: make(chan struct{})}
+	}
+	return e
+}
+
+// Clock returns the environment's global virtual clock (shard 0's clock).
 func (e *Env) Clock() *Clock { return e.clock }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time of the global clock.
 func (e *Env) Now() time.Duration { return e.clock.Now() }
+
+// EngineName reports which virtual-time engine drives the environment:
+// "serial" or "sharded".
+func (e *Env) EngineName() string {
+	if e.windowed {
+		return "sharded"
+	}
+	return "serial"
+}
+
+// Lookahead reports the conservative cross-shard lookahead bound (zero on
+// the serial engine).
+func (e *Env) Lookahead() time.Duration { return e.lookahead }
+
+// NumShards reports the number of time shards.
+func (e *Env) NumShards() int { return len(e.shards) }
+
+// Shard returns the i'th time shard.
+func (e *Env) Shard(i int) *Shard { return e.shards[i] }
+
+// EventsProcessed reports the total number of events dispatched across all
+// shards. Read it after Run returns; it is not synchronized with a run in
+// progress.
+func (e *Env) EventsProcessed() int64 {
+	var n int64
+	for _, s := range e.shards {
+		n += s.processed
+	}
+	return n
+}
+
+// Windows reports how many conservative lookahead windows the sharded
+// engine has executed (zero on the serial engine).
+func (e *Env) Windows() int64 { return e.windows }
 
 type event struct {
 	at   time.Duration
@@ -78,6 +169,18 @@ func (h *eventHeap) pop() event {
 	s[0] = s[n]
 	s[n] = event{} // drop the callback/proc references for the GC
 	s = s[:n]
+	// Shrink the backing array when the queue drains far below its
+	// high-water mark: a scheduling burst (the database run enqueues every
+	// transaction up front) can grow the heap to tens of thousands of slots
+	// that steady state never touches again, and every dead slot beyond
+	// len is reachable capacity the GC must keep. Hysteresis — quarter
+	// full, at least 4x the initial capacity, halving — bounds the copy at
+	// amortized O(1) per pop and cannot oscillate against append's growth.
+	if c := cap(s); c >= 4*eventHeapInitialCap && n <= c/4 {
+		ns := make(eventHeap, n, c/2)
+		copy(ns, s)
+		s = ns
+	}
 	*h = s
 	// Sift down.
 	for i := 0; ; {
@@ -103,31 +206,18 @@ func (h *eventHeap) pop() event {
 // events in flight.
 const eventHeapInitialCap = 128
 
-func (e *Env) push(ev event) {
-	if e.events == nil {
-		e.events = make(eventHeap, 0, eventHeapInitialCap)
-	}
-	e.seq++
-	ev.seq = e.seq
-	e.events.push(ev)
-}
-
 // At schedules fn to run at absolute virtual time t (which must not be in
 // the past). fn runs in the scheduler's goroutine and must not block.
-func (e *Env) At(t time.Duration, fn func()) {
-	if t < e.clock.Now() {
-		panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", t, e.clock.Now()))
-	}
-	e.push(event{at: t, fn: fn})
-}
+// On a sharded environment the event lands on shard 0.
+func (e *Env) At(t time.Duration, fn func()) { e.shards[0].At(t, fn) }
 
-// After schedules fn to run d from now.
-func (e *Env) After(d time.Duration, fn func()) { e.At(e.clock.Now()+d, fn) }
+// After schedules fn to run d from now (shard 0 on a sharded environment).
+func (e *Env) After(d time.Duration, fn func()) { e.shards[0].After(d, fn) }
 
 // Proc is a simulated process. Its methods must only be called from within
 // the process's own body function.
 type Proc struct {
-	env    *Env
+	shard  *Shard
 	resume chan struct{}
 	name   string
 }
@@ -136,46 +226,29 @@ type Proc struct {
 func (p *Proc) Name() string { return p.name }
 
 // Env returns the environment the process runs in.
-func (p *Proc) Env() *Env { return p.env }
+func (p *Proc) Env() *Env { return p.shard.env }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() time.Duration { return p.env.clock.Now() }
+// Shard returns the time shard the process runs on.
+func (p *Proc) Shard() *Shard { return p.shard }
 
-// Go starts a new simulated process running body. The process begins at the
-// current virtual time, after the caller yields to the scheduler.
+// Now returns the current virtual time of the process's shard.
+func (p *Proc) Now() time.Duration { return p.shard.clock.Now() }
+
+// Go starts a new simulated process running body on shard 0. The process
+// begins at the current virtual time, after the caller yields to the
+// scheduler.
 func (e *Env) Go(name string, body func(p *Proc)) *Proc {
-	p := &Proc{env: e, resume: make(chan struct{}), name: name}
-	e.active++
-	go func() {
-		<-p.resume // wait for first dispatch
-		body(p)
-		e.active--
-		e.parked <- struct{}{} // signal completion to the scheduler
-	}()
-	e.push(event{at: e.clock.Now(), proc: p})
-	return p
+	return e.shards[0].Go(name, body)
 }
 
 // GoAt is like Go but the process starts at absolute virtual time t.
 func (e *Env) GoAt(t time.Duration, name string, body func(p *Proc)) *Proc {
-	if t < e.clock.Now() {
-		panic("sim: process scheduled to start in the past")
-	}
-	p := &Proc{env: e, resume: make(chan struct{}), name: name}
-	e.active++
-	go func() {
-		<-p.resume
-		body(p)
-		e.active--
-		e.parked <- struct{}{}
-	}()
-	e.push(event{at: t, proc: p})
-	return p
+	return e.shards[0].GoAt(t, name, body)
 }
 
 // park suspends the calling process until the scheduler resumes it.
 func (p *Proc) park() {
-	p.env.parked <- struct{}{}
+	p.shard.parked <- struct{}{}
 	<-p.resume
 }
 
@@ -185,25 +258,23 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	p.env.push(event{at: p.env.clock.Now() + d, proc: p})
+	p.shard.push(event{at: p.shard.clock.Now() + d, proc: p})
 	p.park()
 }
 
-// Park suspends the process indefinitely; some other process or timer must
-// call Env.Wake(p) to resume it. Used to build wait queues (lock managers,
-// condition variables).
+// Park suspends the process indefinitely; some other process or timer on
+// the same shard must call Env.Wake(p) to resume it. Used to build wait
+// queues (lock managers, condition variables).
 func (p *Proc) Park() {
-	p.env.blocked++
+	p.shard.blocked++
 	p.park()
 }
 
-// Wake schedules parked process q to resume at the current virtual time.
-// It must pair with a Proc.Park; waking a process that is not parked
-// corrupts the simulation.
-func (e *Env) Wake(q *Proc) {
-	e.blocked--
-	e.push(event{at: e.clock.Now(), proc: q})
-}
+// Wake schedules parked process q to resume at the current virtual time of
+// q's own shard. It must pair with a Proc.Park, and the waker must run on
+// q's shard — cross-shard coordination goes through Shard.Send, never
+// through shared park/wake queues.
+func (e *Env) Wake(q *Proc) { q.shard.Wake(q) }
 
 // Run drives the simulation until no events remain. It reports the number
 // of processes left permanently blocked (normally zero; nonzero indicates a
@@ -213,25 +284,18 @@ func (e *Env) Run() int { return e.RunUntil(1<<62 - 1) }
 // RunUntil drives the simulation until no events remain or the next event
 // is after deadline. It reports the number of processes left blocked.
 func (e *Env) RunUntil(deadline time.Duration) int {
-	for len(e.events) > 0 {
-		if e.events[0].at > deadline {
-			break
-		}
-		ev := e.events.pop()
-		e.clock.AdvanceTo(ev.at)
-		if ev.proc != nil {
-			ev.proc.resume <- struct{}{}
-			<-e.parked // run until it parks or finishes
-		} else {
-			ev.fn()
-		}
+	if e.windowed {
+		return e.runWindows(deadline)
 	}
-	return e.blocked
+	s := e.shards[0]
+	s.drainSerial(deadline)
+	return s.blocked
 }
 
 // Resource is a counted resource with FIFO queueing — for example the six
 // processors of the simulated SGI 4D/380. A process holds one unit between
-// Acquire and Release.
+// Acquire and Release. A Resource belongs to one shard's processes; it is
+// not a cross-shard synchronization primitive.
 type Resource struct {
 	env      *Env
 	capacity int

@@ -39,7 +39,59 @@ func TestEventHeapOrdering(t *testing.T) {
 func TestEventHeapPreSized(t *testing.T) {
 	e := NewEnv(&Clock{})
 	e.At(0, func() {})
-	if cap(e.events) < eventHeapInitialCap {
-		t.Fatalf("event queue capacity %d, want >= %d", cap(e.events), eventHeapInitialCap)
+	if cap(e.shards[0].events) < eventHeapInitialCap {
+		t.Fatalf("event queue capacity %d, want >= %d", cap(e.shards[0].events), eventHeapInitialCap)
 	}
+}
+
+// FuzzEventHeap drives the heap with a byte-encoded op stream — odd bytes
+// pop, even bytes push at time b>>1 (a deliberately tiny timestamp range, so
+// equal-`at` seq tie-breaks dominate) — and checks every pop against a
+// linear-scan reference minimum. The checked-in corpus seeds the two cases
+// that matter most: dense equal-timestamp ties, and a >4x-initial-capacity
+// burst drained back down, which walks the pop-side shrink path.
+func FuzzEventHeap(f *testing.F) {
+	f.Add([]byte{6, 6, 6, 6, 2, 1, 1, 1, 1, 1, 4, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var h eventHeap
+		var ref []event
+		var seq int64
+		for _, b := range ops {
+			if b&1 == 1 && len(ref) > 0 {
+				min := 0
+				for i := 1; i < len(ref); i++ {
+					if ref[i].at < ref[min].at ||
+						(ref[i].at == ref[min].at && ref[i].seq < ref[min].seq) {
+						min = i
+					}
+				}
+				want := ref[min]
+				ref = append(ref[:min], ref[min+1:]...)
+				got := h.pop()
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("pop = (%v,%d), want (%v,%d)", got.at, got.seq, want.at, want.seq)
+				}
+			} else if b&1 == 0 {
+				ev := event{at: time.Duration(b >> 1), seq: seq}
+				seq++
+				h.push(ev)
+				ref = append(ref, ev)
+			}
+		}
+		if len(h) != len(ref) {
+			t.Fatalf("heap len %d, reference len %d", len(h), len(ref))
+		}
+		if cap(h) > 0 && cap(h) < len(h) {
+			t.Fatalf("impossible capacity %d < len %d", cap(h), len(h))
+		}
+		// Drain whatever remains in (at, seq) order.
+		var prev event
+		for i := 0; len(h) > 0; i++ {
+			ev := h.pop()
+			if i > 0 && (ev.at < prev.at || (ev.at == prev.at && ev.seq < prev.seq)) {
+				t.Fatalf("drain popped (%v,%d) after (%v,%d)", ev.at, ev.seq, prev.at, prev.seq)
+			}
+			prev = ev
+		}
+	})
 }

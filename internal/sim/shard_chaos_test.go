@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChaosShardedTimeHorizons hammers the conservative-lookahead invariant:
+// across many seeded runs with adversarial cross-shard traffic — every send
+// aimed at exactly the lookahead horizon, the closest the contract allows —
+// no shard may ever observe a cross-shard event earlier than its send
+// horizon, and every shard clock must advance monotonically. Runs in the
+// chaos stage of scripts/check.sh under -race, where a window goroutine
+// leaking past the merge barrier would also trip the detector.
+func TestChaosShardedTimeHorizons(t *testing.T) {
+	const shards = 4
+	for seed := uint64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			e := NewShardedEnv(&Clock{}, shards, 0)
+			L := e.Lookahead()
+			var sends, recvs atomic.Int64
+			lastSeen := make([]time.Duration, shards) // per shard, touched only by its drain goroutine
+			for i := 0; i < shards; i++ {
+				i := i
+				sh := e.Shard(i)
+				for pid := 0; pid < 4; pid++ {
+					rng := NewRNG(seed*1000 + uint64(i*32+pid))
+					sh.Go(fmt.Sprintf("s%d-p%d", i, pid), func(p *Proc) {
+						for step := 0; step < 200; step++ {
+							p.Sleep(time.Duration(rng.Intn(80)) * time.Microsecond)
+							now := p.Now()
+							if now < lastSeen[i] {
+								t.Errorf("shard %d clock went backwards: %v after %v", i, now, lastSeen[i])
+							}
+							lastSeen[i] = now
+							if step%4 == 0 {
+								dst := e.Shard((i + 1 + rng.Intn(shards-1)) % shards)
+								sendTime, horizon := now, now+L
+								sends.Add(1)
+								p.Shard().Send(dst, horizon, func() {
+									recvs.Add(1)
+									if got := dst.Now(); got < sendTime+L {
+										t.Errorf("shard %d observed event from shard %d at %v, horizon %v",
+											dst.ID(), i, got, sendTime+L)
+									}
+								})
+							}
+						}
+					})
+				}
+			}
+			if blocked := e.Run(); blocked != 0 {
+				t.Fatalf("blocked procs: %d", blocked)
+			}
+			if sends.Load() == 0 || sends.Load() != recvs.Load() {
+				t.Fatalf("sends %d, recvs %d", sends.Load(), recvs.Load())
+			}
+			if e.Windows() == 0 {
+				t.Fatal("windowed engine executed zero windows")
+			}
+		})
+	}
+}

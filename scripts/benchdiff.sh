@@ -8,6 +8,7 @@
 #   scripts/benchdiff.sh diff OLD.bench NEW.bench   # compare two files
 #   scripts/benchdiff.sh scale               # diff the last two scale sweeps
 #   scripts/benchdiff.sh policy              # diff the last two policy shootout sweeps
+#   scripts/benchdiff.sh time                # diff the last two time-engine sweeps
 #
 # The benchmark set is the delivery plane's hot paths: the fault-path and
 # table harness benchmarks, the delivery-plane scaling benchmark, and the
@@ -83,8 +84,14 @@ policy)
     # change, not machine noise — still advisory, never fails the build.
     go run ./cmd/reproduce -policydiff || true
     ;;
+time)
+    # Per-cell diff (model and wall events/s) of the last two sweeps
+    # recorded in BENCH_time.json. Model events/s are virtual-time
+    # deterministic; wall events/s are advisory. Never fails the build.
+    go run ./cmd/reproduce -timediff || true
+    ;;
 *)
-    echo "usage: benchdiff.sh [baseline|compare|diff OLD NEW|scale|policy]" >&2
+    echo "usage: benchdiff.sh [baseline|compare|diff OLD NEW|scale|policy|time]" >&2
     exit 2
     ;;
 esac

@@ -26,7 +26,7 @@ echo "== go test -race =="
 go test -race ./...
 
 echo "== chaos suite (fault injection + lock-free structure hammers, -race) =="
-go test -race -run Chaos -count=1 ./internal/core ./internal/spcm ./internal/kernel ./internal/manager
+go test -race -run Chaos -count=1 ./internal/core ./internal/spcm ./internal/kernel ./internal/manager ./internal/sim
 
 echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz='^FuzzMappingTable$' -fuzztime=10s ./internal/kernel
@@ -34,6 +34,7 @@ go test -run='^$' -fuzz='^FuzzCASTable$' -fuzztime=10s ./internal/kernel
 go test -run='^$' -fuzz='^FuzzUIO$' -fuzztime=10s ./internal/uio
 go test -run='^$' -fuzz='^FuzzMailbox$' -fuzztime=10s ./internal/plane
 go test -run='^$' -fuzz='^FuzzPolicy$' -fuzztime=10s ./internal/manager
+go test -run='^$' -fuzz='^FuzzEventHeap$' -fuzztime=10s ./internal/sim
 
 echo "== bench smoke (1 iteration) =="
 go test -bench=Harness -benchtime=1x -run='^$' .
@@ -42,8 +43,13 @@ go test -bench=BatchMigrate -benchtime=1x -run='^$' ./internal/kernel
 
 echo "== policy shootout smoke (2 policies x 1 workload) =="
 policy_tmp=$(mktemp)
-trap 'rm -f "$policy_tmp"' EXIT
+time_tmp=$(mktemp)
+trap 'rm -f "$policy_tmp" "$time_tmp"' EXIT
 go run ./cmd/reproduce -table 1 -policy -policies clock,s3fifo -policyworkloads zipf \
     -policyrefs 4000 -policyout "$policy_tmp" > /dev/null
+
+echo "== time-engine sweep smoke (1 and 4 shards) =="
+go run ./cmd/reproduce -table 1 -time -timeshards 1,4 -timeevents 20000 \
+    -timefile "$time_tmp" > /dev/null
 
 echo "All checks passed."
