@@ -18,6 +18,10 @@
 //	reproduce -plane -managers 1,2,4 # plane table over chosen manager counts
 //	reproduce -batch=false           # disable batched kernel operations
 //	reproduce -scale                 # wall-clock scale sweep -> BENCH_scale.json
+//	reproduce -scalediff             # diff the last two scale sweeps and exit
+//	reproduce -super                 # enable the superpage extent fast path
+//	reproduce -supersweep            # superpage sweep -> BENCH_super.json
+//	reproduce -superdiff             # diff the last two superpage sweeps and exit
 //	reproduce -policy                # replacement-policy shootout -> BENCH_policy.json
 //	reproduce -policy -policies lru,s3fifo -policyworkloads mixed
 //	reproduce -policydiff            # diff the last two shootout sweeps and exit
@@ -78,6 +82,12 @@ func main() {
 	managersFlag := flag.String("managers", "1,4", "comma-separated manager counts for the -plane table")
 	scale := flag.Bool("scale", false, "run the wall-clock scale sweep (managers x scheduler x batch) and append it to BENCH_scale.json")
 	scaleDiff := flag.Bool("scalediff", false, "print a per-cell diff of the last two sweeps in BENCH_scale.json and exit")
+	super := flag.Bool("super", false, "enable the superpage extent fast path process-wide (off by default; the golden tables assume it off)")
+	superSweep := flag.Bool("supersweep", false, "run the superpage sweep (managers x {base, super}) and append it to -superfile")
+	superManagers := flag.String("supermanagers", "8,16", "comma-separated manager counts for the -supersweep")
+	superFaults := flag.Int("superfaults", 0, "per-manager base fault count for the -supersweep (default 32768)")
+	superFile := flag.String("superfile", "BENCH_super.json", "append-only trajectory file for the -supersweep")
+	superDiff := flag.Bool("superdiff", false, "print a per-cell diff of the last two sweeps in the -superfile and exit")
 	policyTbl := flag.Bool("policy", false, "run the replacement-policy shootout (policies x workloads x pressures) and append it to -policyout")
 	policiesFlag := flag.String("policies", "", "comma-separated policy names for the -policy shootout (default: all registered)")
 	policyWorkloads := flag.String("policyworkloads", "", "comma-separated workloads for the -policy shootout: zipf,scan,loop,mixed (default: all)")
@@ -110,6 +120,15 @@ func main() {
 		os.Stdout.WriteString(out)
 		return
 	}
+	if *superDiff {
+		out, err := experiments.DiffSuperSweeps(*superFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(2)
+		}
+		os.Stdout.WriteString(out)
+		return
+	}
 	if *policyDiff {
 		out, err := experiments.DiffPolicySweeps(*policyOut)
 		if err != nil {
@@ -126,6 +145,7 @@ func main() {
 		}
 	}
 	kernel.SetBatchOps(*batch)
+	kernel.SetSuperpages(*super)
 	if err := kernel.SetBootScheduler(*sched); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(2)
@@ -220,8 +240,33 @@ func main() {
 		} else {
 			os.Stdout.Write(rep.Output)
 			ok = ok && rep.OK
+			// Compare against the previous recorded sweep before appending
+			// this one: the verdict names the worst-moving cell.
+			fmt.Println(experiments.ScaleRegressionVerdict("BENCH_scale.json", sweep))
 			if err := experiments.AppendBenchSweep("BENCH_scale.json", "scale-sweep", sweep); err != nil {
 				fmt.Fprintln(os.Stderr, "reproduce: writing BENCH_scale.json:", err)
+				ok = false
+			}
+		}
+	}
+	if *superSweep {
+		// Each cell toggles the process-global superpage and batch
+		// switches, so the sweep runs by itself after the harness tasks
+		// have drained.
+		mgrs, err := parseManagers(*superManagers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(2)
+		}
+		rep, sweep, err := experiments.SuperpageSweep(*superFaults, mgrs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce: superpage sweep:", err)
+			ok = false
+		} else {
+			os.Stdout.Write(rep.Output)
+			ok = ok && rep.OK
+			if err := experiments.AppendBenchSweep(*superFile, "superpage-sweep", sweep); err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce: writing", *superFile+":", err)
 				ok = false
 			}
 		}

@@ -103,6 +103,16 @@ var (
 	BatchOps       = kernel.BatchOps
 )
 
+// Superpage-plane helpers re-exported from the kernel. SetSuperpages is the
+// process-wide half of the extent gate (Config.Superpages flips it at boot);
+// the per-manager half is ManagerConfig.ExtentOrder. Both must be set for
+// any extent to be promoted, so the default configuration never changes the
+// golden reproduction output.
+var (
+	SetSuperpages     = kernel.SetSuperpages
+	SuperpagesEnabled = kernel.SuperpagesEnabled
+)
+
 // Generic is the specializable generic segment manager of the paper's §2.2.
 type Generic = manager.Generic
 

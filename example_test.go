@@ -267,3 +267,48 @@ func ExampleConcurrentScheduler() {
 	fmt.Println("faults:", sys.Kernel.Stats().Faults)
 	// Output: faults: 256
 }
+
+// Example_superpages enables the superpage extent fast path: the manager
+// pages in whole aligned extents of 2^4 = 16 base pages over physically
+// contiguous frames (one batched migration charging a single SuperpageOp),
+// then promotes each extent to one span mapping entry and one wide TLB way.
+// 256 sequential page touches thus take 16 faults, and the whole working
+// set is reachable through 16 translation entries instead of 256. Both
+// halves of the gate must be set — Config.Superpages (process-wide) and
+// ManagerConfig.ExtentOrder (per manager) — so default-configured runs are
+// unaffected.
+func Example_superpages() {
+	sys, err := epcm.Boot(epcm.Config{
+		MemoryBytes: 8 << 20,
+		Superpages:  true, // process-wide switch (same as epcm.SetSuperpages)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+	defer epcm.SetSuperpages(false) // process-wide: restore the default
+
+	mgr, _, err := sys.NewAppManager(epcm.ManagerConfig{
+		Name:        "grid",
+		ExtentOrder: 4, // promote aligned 16-page extents
+	}, 1e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seg, err := mgr.CreateManagedSegment("data")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for p := int64(0); p < 256; p++ {
+		if err := sys.Kernel.Access(seg, p, epcm.Write); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	st := mgr.SuperStats()
+	fmt.Println("faults:", sys.Kernel.Stats().Faults,
+		"extents:", seg.ExtentCount(),
+		"promotions:", st.Promotions,
+		"extent fills:", st.ExtentFills)
+	// Output: faults: 16 extents: 16 promotions: 16 extent fills: 16
+}

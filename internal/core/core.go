@@ -69,6 +69,13 @@ type Config struct {
 	// sim.SetBootTimeEngine. Like Scheduler, it is a process-wide boot
 	// knob, not a per-system one.
 	TimeEngine string
+	// Superpages turns on the process-wide superpage extent plane
+	// (kernel.SetSuperpages): managers configured with a non-zero
+	// manager.Config.ExtentOrder promote naturally aligned runs of base
+	// pages into single mapping/TLB entries and the kernel applies
+	// extent-granular fault costs. False keeps whatever mode the process
+	// already selected, so the golden-reference runs are unaffected.
+	Superpages bool
 }
 
 // System is a booted V++ machine.
@@ -129,6 +136,9 @@ func Boot(cfg Config) (*System, error) {
 		if err := sim.SetBootTimeEngine(cfg.TimeEngine); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
+	}
+	if cfg.Superpages {
+		kernel.SetSuperpages(true)
 	}
 
 	latency := storage.NetworkServer()

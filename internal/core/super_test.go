@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"epcm/internal/kernel"
+	"epcm/internal/manager"
+	"epcm/internal/sim"
+)
+
+// superCounts drives the same deterministic superpage workload under the
+// given scheduler/time-engine pair and reports every promotion-plane
+// counter. The counts must be identical in every mode: the superpage plane
+// rides the same determinism contract the golden output does.
+type superCounts struct {
+	promotions, demotions, superOps int64
+	mgr                             manager.SuperStats
+	liveBefore                      int
+}
+
+func runSuperWorkload(t *testing.T, scheduler, timeEngine string) superCounts {
+	t.Helper()
+	s, err := Boot(Config{
+		MemoryBytes: 8 << 20,
+		Scheduler:   scheduler,
+		TimeEngine:  timeEngine,
+		Superpages:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	// Boot flips process-wide switches; put them back so later tests see
+	// the defaults.
+	t.Cleanup(func() {
+		kernel.SetSuperpages(false)
+		if timeEngine != "" {
+			if err := sim.SetBootTimeEngine("serial"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	g, _, err := s.NewAppManager(manager.Config{Name: "super-app", ExtentOrder: 4}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := g.CreateManagedSegment("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 extents faulted in sequentially, then half the range re-touched
+	// (pure hits: the pages are resident and span-translated).
+	for p := int64(0); p < 256; p++ {
+		if err := s.Kernel.Access(seg, p, kernel.Write); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := int64(0); p < 128; p++ {
+		if err := s.Kernel.Access(seg, p, kernel.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := superCounts{liveBefore: seg.ExtentCount(), mgr: g.SuperStats()}
+	// Deleting the segment demotes every live extent through the kernel's
+	// drop-all hook and drains the manager's density tracker.
+	if err := s.Kernel.DeleteSegment(kernel.AppCred, seg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Kernel.CheckFrameConservation(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Kernel.Stats()
+	c.promotions, c.demotions, c.superOps = st.ExtentPromotions, st.ExtentDemotions, st.SuperpageOps
+	return c
+}
+
+// TestSuperpageDeterminismAcrossModes is the promotion/demotion golden
+// test: the serial scheduler, the concurrent scheduler, and the sharded
+// virtual-time engine must produce byte-identical promotion-plane counts
+// for the same workload.
+func TestSuperpageDeterminismAcrossModes(t *testing.T) {
+	modes := []struct {
+		name, scheduler, timeEngine string
+	}{
+		{"serial", "serial", ""},
+		{"concurrent", "concurrent", ""},
+		{"sharded-time", "serial", "sharded"},
+	}
+	var ref superCounts
+	for i, m := range modes {
+		got := runSuperWorkload(t, m.scheduler, m.timeEngine)
+		if got.liveBefore != 16 {
+			t.Errorf("%s: %d live extents after fill, want 16", m.name, got.liveBefore)
+		}
+		if got.mgr.Promotions != 16 || got.mgr.Denied != 0 || got.mgr.ExtentFills != 16 {
+			t.Errorf("%s: manager stats %+v, want 16 promotions, 16 fills, 0 denied", m.name, got.mgr)
+		}
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if got != ref {
+			t.Errorf("%s diverges from %s: %+v vs %+v", m.name, modes[0].name, got, ref)
+		}
+	}
+}
+
+// With superpages enabled globally but ExtentOrder left zero, the manager
+// never promotes; with ExtentOrder set but the kernel switch off, the same.
+// Either half of the gate alone must leave the plane cold.
+func TestSuperpageGateHalves(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		global bool
+		order  int
+	}{
+		{"switch on, order zero", true, 0},
+		{"switch off, order set", false, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Boot(Config{MemoryBytes: 8 << 20, Superpages: tc.global})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Shutdown()
+			t.Cleanup(func() { kernel.SetSuperpages(false) })
+			g, _, err := s.NewAppManager(manager.Config{Name: "cold", ExtentOrder: tc.order}, 1e6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seg, err := g.CreateManagedSegment("grid")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := int64(0); p < 64; p++ {
+				if err := s.Kernel.Access(seg, p, kernel.Write); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n := seg.ExtentCount(); n != 0 {
+				t.Fatalf("%d extents promoted with the plane half-enabled", n)
+			}
+			if st := g.SuperStats(); st != (manager.SuperStats{}) {
+				t.Fatalf("manager promotion plane ran: %+v", st)
+			}
+		})
+	}
+}

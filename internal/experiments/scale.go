@@ -31,6 +31,10 @@ type PlaneSweep struct {
 	// WallSpeedup4Mgr is concurrent over serial wall faults/sec at 4
 	// managers (batched) — the ≥1.5x acceptance number.
 	WallSpeedup4Mgr float64 `json:"wall_speedup_4mgr_concurrent_vs_serial,omitempty"`
+	// SuperSpeedup8Mgr is the superpage arm's wall pages/sec over the
+	// base arm at 8 managers — the superpage sweep's ≥2x acceptance
+	// number.
+	SuperSpeedup8Mgr float64 `json:"super_wall_speedup_8mgr_vs_base,omitempty"`
 }
 
 // NewPlaneSweep stamps an empty sweep with the current time, GOMAXPROCS
@@ -67,7 +71,9 @@ type benchFile struct {
 // entry of the trajectory rather than overwriting it.
 func AppendBenchSweep(path, benchmark string, sweep *PlaneSweep) error {
 	f := &benchFile{Benchmark: benchmark}
-	if raw, err := os.ReadFile(path); err == nil {
+	if raw, err := os.ReadFile(path); err == nil && len(raw) > 0 {
+		// A zero-length file (a fresh mktemp target) starts an empty
+		// trajectory rather than failing to parse.
 		if err := json.Unmarshal(raw, f); err != nil {
 			return fmt.Errorf("experiments: %s: %w", path, err)
 		}
@@ -138,10 +144,11 @@ func ScaleSweep(faultsPerManager int, managers []int) (*Report, *PlaneSweep, err
 		fmt.Fprintf(b, "warning: host has %d CPUs for up to %d managers; wide cells time-slice rather than run in parallel\n",
 			sweep.NumCPU, maxMgrs)
 	}
-	fmt.Fprintf(b, "%-12s %9s %6s %10s %16s %16s %13s\n",
-		"Scheduler", "Managers", "Batch", "Faults", "Model faults/s", "Wall faults/s", "Allocs/fault")
+	fmt.Fprintf(b, "%-12s %9s %6s %10s %16s %16s %13s %9s %9s\n",
+		"Scheduler", "Managers", "Batch", "Faults", "Model faults/s", "Wall faults/s", "Allocs/fault", "p50(us)", "p99(us)")
 	wall := map[string]float64{} // "sched/n/batch" -> wall faults/s
 	model := map[string]float64{}
+	p99 := map[string]float64{}
 	for _, batch := range []bool{true, false} {
 		for _, sched := range []string{"serial", "concurrent"} {
 			for _, n := range managers {
@@ -173,12 +180,14 @@ func ScaleSweep(faultsPerManager int, managers []int) (*Report, *PlaneSweep, err
 						r = one
 					}
 				}
-				fmt.Fprintf(b, "%-12s %9d %6v %10d %16.0f %16.0f %13.3f\n",
+				fmt.Fprintf(b, "%-12s %9d %6v %10d %16.0f %16.0f %13.3f %9.2f %9.2f\n",
 					r.Scheduler, r.Managers, r.Batch, r.Faults,
-					r.ModelFaultsPerSec, r.WallFaultsPerSec, r.AllocsPerFault)
+					r.ModelFaultsPerSec, r.WallFaultsPerSec, r.AllocsPerFault,
+					r.P50FaultUS, r.P99FaultUS)
 				key := fmt.Sprintf("%s/%d/%v", sched, n, batch)
 				wall[key] = r.WallFaultsPerSec
 				model[key] = r.ModelFaultsPerSec
+				p99[key] = r.P99FaultUS
 				sweep.Runs = append(sweep.Runs, *r)
 			}
 		}
@@ -200,6 +209,12 @@ func ScaleSweep(faultsPerManager int, managers []int) (*Report, *PlaneSweep, err
 		prevW = w
 	}
 	fmt.Fprintf(b, "\nconcurrent+batched wall faults/s non-decreasing 1..16 managers: %v\n", mono)
+	// The 8->16 step is where lane sharding usually starts to pay for its
+	// coordination; report how throughput and tail latency move across it.
+	if w8, w16 := wall["concurrent/8/true"], wall["concurrent/16/true"]; w8 > 0 && w16 > 0 {
+		fmt.Fprintf(b, "concurrent+batched 8->16 managers: wall faults/s %+.1f%%, p99 latency %.2fus -> %.2fus\n",
+			100*(w16-w8)/w8, p99["concurrent/8/true"], p99["concurrent/16/true"])
+	}
 	if s, c := model["concurrent/1/true"], model["concurrent/4/true"]; s > 0 && c > 0 {
 		sweep.Scaling1To4 = c / s
 	}

@@ -12,13 +12,26 @@ import (
 // with deltas. With fewer than two sweeps it says so instead of failing —
 // the diff is a non-gating trend report, not an acceptance check.
 func DiffScaleSweeps(path string) (string, error) {
+	return diffSweeps(path, "scale sweep diff")
+}
+
+// DiffSuperSweeps is the same trend report over a BENCH_super.json
+// trajectory (superpage-sweep cells key on scheduler/managers/batch too —
+// the super arm differs in its recorded extent order, shown per row).
+func DiffSuperSweeps(path string) (string, error) {
+	return diffSweeps(path, "superpage sweep diff")
+}
+
+// loadSweeps reads a trajectory file, folding a legacy single-sweep layout
+// into the first entry.
+func loadSweeps(path string) (*benchFile, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return "", fmt.Errorf("experiments: %w", err)
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	f := &benchFile{}
 	if err := json.Unmarshal(raw, f); err != nil {
-		return "", fmt.Errorf("experiments: %s: %w", path, err)
+		return nil, fmt.Errorf("experiments: %s: %w", path, err)
 	}
 	if len(f.Runs) > 0 {
 		// Legacy single-sweep layout counts as one sweep.
@@ -28,21 +41,27 @@ func DiffScaleSweeps(path string) (string, error) {
 			Runs:        f.Runs,
 		}}, f.Sweeps...)
 	}
+	return f, nil
+}
+
+func diffSweeps(path, label string) (string, error) {
+	f, err := loadSweeps(path)
+	if err != nil {
+		return "", err
+	}
 	b := &bytes.Buffer{}
 	if len(f.Sweeps) < 2 {
 		fmt.Fprintf(b, "%s: %d sweep(s) recorded; need two to diff\n", path, len(f.Sweeps))
 		return b.String(), nil
 	}
 	old, cur := f.Sweeps[len(f.Sweeps)-2], f.Sweeps[len(f.Sweeps)-1]
-	fmt.Fprintf(b, "scale sweep diff: %s (gomaxprocs=%d) -> %s (gomaxprocs=%d)\n",
-		old.GeneratedAt, old.GoMaxProcs, cur.GeneratedAt, cur.GoMaxProcs)
+	fmt.Fprintf(b, "%s: %s (gomaxprocs=%d) -> %s (gomaxprocs=%d)\n",
+		label, old.GeneratedAt, old.GoMaxProcs, cur.GeneratedAt, cur.GoMaxProcs)
 	fmt.Fprintf(b, "%-12s %9s %6s %14s %14s %8s %12s %12s\n",
 		"Scheduler", "Managers", "Batch", "old wall f/s", "new wall f/s", "delta",
 		"old allocs/f", "new allocs/f")
 
-	key := func(r PlaneResult) string {
-		return fmt.Sprintf("%s/%d/%v", r.Scheduler, r.Managers, r.Batch)
-	}
+	key := diffKey
 	olds := map[string]PlaneResult{}
 	for _, r := range old.Runs {
 		olds[key(r)] = r
@@ -66,4 +85,47 @@ func DiffScaleSweeps(path string) (string, error) {
 			oldAllocs, r.AllocsPerFault)
 	}
 	return b.String(), nil
+}
+
+// diffKey identifies a sweep cell across sweeps: same scheduler, manager
+// count, batch mode and extent order (0 = base-page arm) are comparable.
+func diffKey(r PlaneResult) string {
+	return fmt.Sprintf("%s/%d/%v/o%d", r.Scheduler, r.Managers, r.Batch, r.ExtentOrder)
+}
+
+// ScaleRegressionVerdict compares a just-measured sweep against the most
+// recent sweep already recorded in path (i.e. before the new one is
+// appended) and returns a one-line verdict naming the worst-moving cell by
+// wall faults/s. Wall clock on a shared host is noisy, so only a drop past
+// 10% is called a regression; the line is a report, not a gate.
+func ScaleRegressionVerdict(path string, cur *PlaneSweep) string {
+	f, err := loadSweeps(path)
+	if err != nil || len(f.Sweeps) == 0 {
+		return fmt.Sprintf("regression check: no previous sweep in %s; this run is the baseline", path)
+	}
+	old := f.Sweeps[len(f.Sweeps)-1]
+	olds := map[string]PlaneResult{}
+	for _, r := range old.Runs {
+		olds[diffKey(r)] = r
+	}
+	worst, worstKey := 0.0, ""
+	for _, r := range cur.Runs {
+		o, ok := olds[diffKey(r)]
+		if !ok || o.WallFaultsPerSec <= 0 {
+			continue
+		}
+		d := 100 * (r.WallFaultsPerSec - o.WallFaultsPerSec) / o.WallFaultsPerSec
+		if worstKey == "" || d < worst {
+			worst, worstKey = d, diffKey(r)
+		}
+	}
+	if worstKey == "" {
+		return fmt.Sprintf("regression check: previous sweep in %s has no comparable cells", path)
+	}
+	verdict := "ok"
+	if worst < -10 {
+		verdict = "REGRESSION"
+	}
+	return fmt.Sprintf("regression check vs sweep of %s: worst cell %s %+.1f%% wall faults/s — %s",
+		old.GeneratedAt, worstKey, worst, verdict)
 }

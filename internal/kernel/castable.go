@@ -34,8 +34,13 @@ type casTable struct {
 	mask   uint64
 	shift  uint
 	window int
-	ebr    ebr
-	stat   [casStatStripes]casStatCell
+	// spanSeen is a monotonic bitmask of superpage orders ever cached as
+	// span entries (superpage.go). Zero — always, with superpages off —
+	// makes lookup's span probing one relaxed load, so the concurrent
+	// golden modes see the exact pre-extent probe sequence.
+	spanSeen atomic.Uint32
+	ebr      ebr
+	stat     [casStatStripes]casStatCell
 }
 
 // casBox is one published table entry. key and entry are immutable after
@@ -92,9 +97,11 @@ func casHash(k mapKey) uint64 {
 	return h * 0x9e3779b97f4a7c15
 }
 
-func (t *casTable) lookup(k mapKey) (*pageEntry, bool) {
+// probe scans k's window for its box; the caller must hold an epoch pin
+// (the returned entry is only safe to use before the matching unpin).
+// Stats are the caller's job, so span probes do not double-count.
+func (t *casTable) probe(k mapKey) (*pageEntry, bool) {
 	h := casHash(k)
-	g := t.ebr.pin(h)
 	home := h >> t.shift
 	for i := 0; i < t.window; i++ {
 		b := t.slots[(home+uint64(i))&t.mask].Load()
@@ -105,15 +112,58 @@ func (t *casTable) lookup(k mapKey) (*pageEntry, bool) {
 			continue
 		}
 		if b.key == k {
-			e := b.entry // read before unpin: the box may be retired after
-			t.ebr.unpin(g)
-			t.stat[g&(casStatStripes-1)].hits.Add(1)
-			return e, true
+			return b.entry, true
+		}
+	}
+	return nil, false
+}
+
+func (t *casTable) lookup(k mapKey) (*pageEntry, bool) {
+	h := casHash(k)
+	g := t.ebr.pin(h)
+	if e, ok := t.probe(k); ok {
+		t.ebr.unpin(g)
+		t.stat[g&(casStatStripes-1)].hits.Add(1)
+		return e, true
+	}
+	// Exact miss: probe the span key of every live extent order, so one
+	// cached span entry answers for all 2^order pages it covers.
+	if m := t.spanSeen.Load(); m != 0 {
+		for o := 1; o <= MaxExtentOrder; o++ {
+			if m&(1<<uint(o)) == 0 {
+				continue
+			}
+			sk := spanMapKey(mapKey{k.seg, extentBase(k.page, o)}, o)
+			if e, ok := t.probe(sk); ok {
+				t.ebr.unpin(g)
+				t.stat[g&(casStatStripes-1)].hits.Add(1)
+				return e, true
+			}
 		}
 	}
 	t.ebr.unpin(g)
 	t.stat[g&(casStatStripes-1)].misses.Add(1)
 	return nil, false
+}
+
+// insertSpan caches one entry covering a whole extent under its tagged
+// span key (see superpage.go: span hits only report presence; flags and
+// frames always come from the page store). Publication order matters for
+// readers of other segments: the order bit must be visible before the
+// span entry can be found, so it is set first.
+func (t *casTable) insertSpan(k mapKey, e *pageEntry, order uint8) {
+	for {
+		m := t.spanSeen.Load()
+		if m&(1<<uint(order)) != 0 || t.spanSeen.CompareAndSwap(m, m|1<<uint(order)) {
+			break
+		}
+	}
+	t.insert(spanMapKey(k, int(order)), e)
+}
+
+// removeSpan withdraws a span entry (extent demoted).
+func (t *casTable) removeSpan(k mapKey, order uint8) {
+	t.remove(spanMapKey(k, int(order)))
 }
 
 func (t *casTable) insert(k mapKey, e *pageEntry) {

@@ -26,7 +26,15 @@ import (
 type casTLB struct {
 	sets  []casTLBSet
 	shift uint
-	stat  [casStatStripes]casTLBStatCell
+	// super is the superpage side: a small fully-associative array of
+	// packed wide ways, each covering 2^order pages (superpage.go). One
+	// installed way gives an extent's worth of reach. superSeen gates the
+	// scan monotonically, so with superpages off (always zero) a lookup
+	// costs one extra relaxed load on the miss path only.
+	super     [casTLBSuperWays]atomic.Uint64
+	superRot  atomic.Uint32
+	superSeen atomic.Uint32
+	stat      [casStatStripes]casTLBStatCell
 }
 
 const casTLBWays = 4
@@ -47,6 +55,25 @@ const (
 	casTLBSegBits  = 23
 	casTLBPageBits = 40
 )
+
+// Superpage-way packing: present bit, 3 bits of order (60..62), 20 bits of
+// segment (40..59 — narrower than a base way's 23, traded for the order
+// field; segment IDs are small sequential integers), 40 bits of base page.
+const (
+	casTLBSuperWays    = 16
+	casTLBOrderShift   = 60
+	casTLBSuperSegBits = casTLBOrderShift - casTLBPageBits
+)
+
+// casTLBPackSuper packs a superpage way covering 2^order pages from base
+// k.page, reporting false for keys outside the representable range.
+func casTLBPackSuper(k mapKey, order uint8) (uint64, bool) {
+	if uint64(k.seg) >= 1<<casTLBSuperSegBits || k.page < 0 || k.page >= 1<<casTLBPageBits {
+		return 0, false
+	}
+	return casTLBPresent | uint64(order)<<casTLBOrderShift |
+		uint64(k.seg)<<casTLBPageBits | uint64(k.page), true
+}
 
 func newCASTLB(entries int) *casTLB {
 	if entries < casTLBWays {
@@ -91,8 +118,56 @@ func (t *casTLB) lookup(k mapKey) bool {
 			return true
 		}
 	}
+	if t.superSeen.Load() != 0 {
+		for i := range t.super {
+			sw := t.super[i].Load()
+			if sw == 0 {
+				continue
+			}
+			o := uint8(sw >> casTLBOrderShift & 7)
+			want, ok := casTLBPackSuper(mapKey{k.seg, extentBase(k.page, int(o))}, o)
+			if ok && want == sw {
+				t.stat[idx&(casStatStripes-1)].hits.Add(1)
+				return true
+			}
+		}
+	}
 	t.stat[idx&(casStatStripes-1)].misses.Add(1)
 	return false
+}
+
+// installSpan publishes a superpage way for the extent at k: resident
+// check, then empty-way CAS, then round-robin eviction — the same
+// discipline as the base install.
+func (t *casTLB) installSpan(k mapKey, order uint8) {
+	w, ok := casTLBPackSuper(k, order)
+	if !ok {
+		return
+	}
+	t.superSeen.Store(1)
+	for i := range t.super {
+		switch v := t.super[i].Load(); {
+		case v == w:
+			return
+		case v == 0 && t.super[i].CompareAndSwap(0, w):
+			return
+		}
+	}
+	t.super[t.superRot.Add(1)&(casTLBSuperWays-1)].Store(w)
+}
+
+// invalidateSpan withdraws a superpage way (extent demoted).
+func (t *casTLB) invalidateSpan(k mapKey, order uint8) {
+	w, ok := casTLBPackSuper(k, order)
+	if !ok {
+		return
+	}
+	for i := range t.super {
+		if t.super[i].Load() == w {
+			t.super[i].CompareAndSwap(w, 0)
+			return
+		}
+	}
 }
 
 func (t *casTLB) install(k mapKey) {
@@ -137,6 +212,14 @@ func (t *casTLB) invalidateSegment(seg SegID) {
 			w := s.ways[i].Load()
 			if w != 0 && SegID(w>>casTLBPageBits&(1<<casTLBSegBits-1)) == seg {
 				s.ways[i].CompareAndSwap(w, 0)
+			}
+		}
+	}
+	if t.superSeen.Load() != 0 {
+		for i := range t.super {
+			w := t.super[i].Load()
+			if w != 0 && SegID(w>>casTLBPageBits&(1<<casTLBSuperSegBits-1)) == seg {
+				t.super[i].CompareAndSwap(w, 0)
 			}
 		}
 	}

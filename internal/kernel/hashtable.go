@@ -36,6 +36,11 @@ type mappingTable struct {
 	overflow [hashOverflow]hashEntry
 	ovLen    int
 	shift    uint // 64 - log2(len(slots)); index takes the top bits
+	// spanSeen records (as a bitmask over orders, monotonically) that a
+	// superpage span entry was ever inserted. Zero — always, with
+	// superpages off — keeps lookup exactly the paper's two-probe shape,
+	// so golden hit/miss counts cannot move.
+	spanSeen uint8
 	// statistics
 	hits, misses, spills, drops int64
 }
@@ -75,23 +80,62 @@ func (t *mappingTable) index(k mapKey) int {
 	return int(h >> t.shift) // top bits: len(slots) slots
 }
 
-// lookup finds the page entry for key, reporting whether it was present.
-func (t *mappingTable) lookup(k mapKey) (*pageEntry, bool) {
+// find probes slot and overflow for exactly key k without touching the
+// hit/miss counters; lookup composes it so a span probe does not
+// double-count.
+func (t *mappingTable) find(k mapKey) (*pageEntry, bool) {
 	s := &t.slots[t.index(k)]
 	if s.valid && s.key == k {
-		t.hits++
 		return s.entry, true
 	}
 	ov := t.overflow[:t.ovLen]
 	for i := range ov {
 		o := &ov[i]
 		if o.valid && o.key == k {
-			t.hits++
 			return o.entry, true
+		}
+	}
+	return nil, false
+}
+
+// lookup finds the page entry for key, reporting whether it was present.
+// After an exact miss it probes the span keys of any live extent orders,
+// so one cached span entry answers for every page of its extent.
+func (t *mappingTable) lookup(k mapKey) (*pageEntry, bool) {
+	if e, ok := t.find(k); ok {
+		t.hits++
+		return e, true
+	}
+	if t.spanSeen != 0 {
+		for o := 1; o <= MaxExtentOrder; o++ {
+			if t.spanSeen&(1<<uint(o)) == 0 {
+				continue
+			}
+			sk := spanMapKey(mapKey{k.seg, extentBase(k.page, o)}, o)
+			if e, ok := t.find(sk); ok {
+				t.hits++
+				return e, true
+			}
 		}
 	}
 	t.misses++
 	return nil, false
+}
+
+// insertSpan caches one entry covering a whole extent under its tagged
+// span key; lookup's masked-base probes find it for every covered page.
+// The cached entry is the extent's base-page entry — span hits only need
+// to report presence (the fault path reads flags and frames from the
+// authoritative page store), so serving the base entry for any covered
+// page is sound.
+func (t *mappingTable) insertSpan(k mapKey, e *pageEntry, order uint8) {
+	t.spanSeen |= 1 << order
+	t.insert(spanMapKey(k, int(order)), e)
+}
+
+// removeSpan withdraws a span entry (extent demoted).
+func (t *mappingTable) removeSpan(k mapKey, order uint8) {
+	t.remove(spanMapKey(k, int(order)))
 }
 
 // insert caches a mapping, displacing any colliding occupant to the overflow

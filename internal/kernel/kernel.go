@@ -66,6 +66,10 @@ type Stats struct {
 	DelayedDeliveries int64 // fault deliveries charged an injected delay
 	Revocations       int64 // managers declared dead and revoked
 	RevokedSegments   int64 // segments reassigned to the default manager
+	// Superpage-extent counters (superpage.go); all zero with the plane off.
+	SuperpageOps     int64 // extent-granular operations charged SuperpageOp
+	ExtentPromotions int64 // extents promoted (explicitly or by migrate fast path)
+	ExtentDemotions  int64 // extents demoted (explicitly or by per-page hooks)
 }
 
 // kernelStats is the live counter set. Counters are atomic so concurrent
@@ -86,6 +90,9 @@ type kernelStats struct {
 	DelayedDeliveries atomic.Int64
 	Revocations       atomic.Int64
 	RevokedSegments   atomic.Int64
+	SuperpageOps      atomic.Int64
+	ExtentPromotions  atomic.Int64
+	ExtentDemotions   atomic.Int64
 }
 
 // Kernel is the simulated V++ kernel.
@@ -154,6 +161,7 @@ func New(mem *phys.Memory, clock *sim.Clock, cost *sim.CostModel, cfg Config) *K
 	boot := k.newSegment("physmem", 1)
 	boot.restricted = true
 	boot.staging = true
+	boot.identity = true
 	// Batch-allocate the boot entries: one pageEntry and one frame-pointer
 	// slot per frame, in two allocations instead of 2×NumFrames.
 	n := mem.NumFrames()
@@ -198,6 +206,9 @@ func (k *Kernel) Stats() Stats {
 		DelayedDeliveries: k.stats.DelayedDeliveries.Load(),
 		Revocations:       k.stats.Revocations.Load(),
 		RevokedSegments:   k.stats.RevokedSegments.Load(),
+		SuperpageOps:      k.stats.SuperpageOps.Load(),
+		ExtentPromotions:  k.stats.ExtentPromotions.Load(),
+		ExtentDemotions:   k.stats.ExtentDemotions.Load(),
 	}
 	s.TLBHits, s.TLBMisses = k.tlb.stats()
 	s.HashHits, s.HashMisses, s.HashSpills, s.HashDrops = k.table.stats()
@@ -220,6 +231,9 @@ func (k *Kernel) ResetStats() {
 	k.stats.DelayedDeliveries.Store(0)
 	k.stats.Revocations.Store(0)
 	k.stats.RevokedSegments.Store(0)
+	k.stats.SuperpageOps.Store(0)
+	k.stats.ExtentPromotions.Store(0)
+	k.stats.ExtentDemotions.Store(0)
 	k.tlb.resetStats()
 	k.table.resetStats()
 }
@@ -293,9 +307,15 @@ func (k *Kernel) Lookup(id SegID) (*Segment, error) {
 }
 
 // SetSegmentManager designates the manager module for a segment (§2.1).
+// A manager change demotes every promoted extent: the incoming manager's
+// promotion state starts cold, and a stale extent would otherwise outlive
+// the density tracking that justified it.
 func (k *Kernel) SetSegmentManager(s *Segment, m Manager) {
 	k.clock.Advance(k.cost.KernelCall)
 	s.mu.Lock()
+	if s.managerLoad() != m {
+		k.dropAllExtentsLocked(s)
+	}
 	s.managerStore(m)
 	s.mu.Unlock()
 }
@@ -356,6 +376,8 @@ func (k *Kernel) DeleteSegment(cred Cred, s *Segment) error {
 		return true
 	})
 	s.pages.clear()
+	s.extents = nil // span entries die with the segment's cache state below
+	s.extOrderCount = [MaxExtentOrder + 1]uint32{}
 	s.deleted = true
 	unlockPair(s, k.boot)
 	k.mu.Lock()
@@ -437,6 +459,7 @@ func (k *Kernel) stagingSkip(s *Segment) bool {
 // movePage transfers one page entry and charges the per-page cost. Both
 // segments' locks are held by the caller.
 func (k *Kernel) movePage(src, dst *Segment, srcPage, dstPage int64, set, clear PageFlags) {
+	k.demoteCoveringLocked(src, srcPage)
 	e, _ := src.pages.get(srcPage)
 	src.pages.del(srcPage)
 	e.flags = e.flags.Apply(set, clear)
@@ -505,6 +528,7 @@ func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage
 			e, _ := src.pages.get(sp)
 			flags |= e.flags
 			frames = append(frames, e.frames...)
+			k.demoteCoveringLocked(src, sp)
 			src.pages.del(sp)
 			if !k.stagingSkip(src) {
 				key := mapKey{src.id, sp}

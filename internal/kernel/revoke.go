@@ -73,7 +73,10 @@ func (k *Kernel) Revoke(dead Manager) ([]*Segment, error) {
 		s.mu.Lock()
 		if s.managerLoad() == dead && !s.deleted {
 			// The fallback path of SetSegmentManager, without charging the
-			// dead manager's process for a call it cannot make.
+			// dead manager's process for a call it cannot make. Adoption
+			// demotes every promoted extent — the adopter's promotion state
+			// starts cold, and the dead manager may have died mid-promotion.
+			k.dropAllExtentsLocked(s)
 			s.managerStore(k.defaultMgr)
 			adopted = append(adopted, s)
 		}

@@ -73,8 +73,26 @@ type Segment struct {
 	// scheduler ignores the flag — its cache occupancy (and thus eviction
 	// pattern) stays exactly the paper's.
 	staging bool
-	deleted bool
-	kernel  *Kernel
+	// identity marks the boot frame segment, where every resident page's
+	// number equals its frame's PFN. New parks all frames that way and
+	// every return-to-boot path (SPCM returns, revocation repossession,
+	// segment-destruction reclaim) lands frames at To = PFN, so the
+	// invariant holds for the segment's whole life. extentOrderFor uses it
+	// to prove frame-run contiguity from page numbers alone.
+	identity bool
+	deleted  bool
+	// extents registers the segment's promoted superpage extents: base page
+	// -> order (the extent spans 2^order base pages). nil until the first
+	// promotion, so the per-page demote hooks cost one length check in the
+	// (default) superpages-off configuration. Guarded by mu. Invariant:
+	// a registered extent implies every covered page is present.
+	extents map[int64]uint8
+	// extOrderCount[o] counts live extents of order o, so the per-page
+	// covering-extent probe (demoteCoveringLocked, ExtentAt) only hashes
+	// the orders actually in use instead of every order up to the maximum.
+	// Guarded by mu.
+	extOrderCount [MaxExtentOrder + 1]uint32
+	kernel        *Kernel
 }
 
 // MarkStaging flags s as a kernel-held staging segment (see the staging
@@ -156,6 +174,20 @@ func (s *Segment) HasPage(page int64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pages.has(page)
+}
+
+// AnyPresent reports whether any page in [base, base+n) is present — one
+// lock acquisition instead of n HasPage calls. The extent page-in fast
+// path uses it for its all-absent precheck.
+func (s *Segment) AnyPresent(base, n int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := int64(0); i < n; i++ {
+		if s.pages.has(base + i) {
+			return true
+		}
+	}
+	return false
 }
 
 // Flags returns the page's flags; ok is false if the page has no frame.

@@ -16,22 +16,29 @@ import "sync"
 
 // mapper is the mapping-hash-table surface the kernel uses; implemented by
 // the paper's single mappingTable (serial) and shardedTable (concurrent).
+// The span methods cache one entry covering a whole superpage extent
+// (superpage.go); implementations without span support make them no-ops —
+// the tables are caches, so a missing span only costs the walk.
 type mapper interface {
 	lookup(k mapKey) (*pageEntry, bool)
 	insert(k mapKey, e *pageEntry)
 	remove(k mapKey)
 	removeSegment(seg SegID)
+	insertSpan(k mapKey, e *pageEntry, order uint8)
+	removeSpan(k mapKey, order uint8)
 	stats() (hits, misses, spills, drops int64)
 	resetStats()
 }
 
 // translator is the TLB surface; implemented by the R3000 tlb (serial) and
-// stripedTLB (concurrent).
+// stripedTLB (concurrent). Span methods as on mapper.
 type translator interface {
 	lookup(k mapKey) bool
 	install(k mapKey)
 	invalidate(k mapKey)
 	invalidateSegment(seg SegID)
+	installSpan(k mapKey, order uint8)
+	invalidateSpan(k mapKey, order uint8)
 	stats() (hits, misses int64)
 	resetStats()
 }
@@ -96,6 +103,12 @@ func (st *shardedTable) removeSegment(seg SegID) {
 		s.mu.Unlock()
 	}
 }
+
+// The sharded legacy table predates superpage extents and does not cache
+// spans: lookups on covered pages miss and fall back to the structure
+// walk, which is always correct for a cache.
+func (st *shardedTable) insertSpan(mapKey, *pageEntry, uint8) {}
+func (st *shardedTable) removeSpan(mapKey, uint8)             {}
 
 func (st *shardedTable) stats() (hits, misses, spills, drops int64) {
 	for i := range st.shards {
@@ -178,6 +191,10 @@ func (st *stripedTLB) invalidateSegment(seg SegID) {
 	defer s.mu.Unlock()
 	s.t.invalidateSegment(seg)
 }
+
+// The striped legacy TLB does not cache superpage spans (see shardedTable).
+func (st *stripedTLB) installSpan(mapKey, uint8)    {}
+func (st *stripedTLB) invalidateSpan(mapKey, uint8) {}
 
 func (st *stripedTLB) stats() (hits, misses int64) {
 	for i := range st.stripes {

@@ -119,6 +119,13 @@ type Config struct {
 	// identical to the paper's demand-request behaviour — the reproduce
 	// harness relies on that.
 	LanePrefetch int
+	// ExtentOrder, when positive, activates the superpage plane (super.go)
+	// at extents of 2^ExtentOrder base pages: whole-extent page-in over
+	// contiguous frame runs, density-tracked promotion, and extent-first
+	// reclamation. It only takes effect while kernel.SuperpagesEnabled();
+	// zero (the default) keeps every fault-path hook to one integer
+	// compare, preserving the golden cost structure exactly.
+	ExtentOrder int
 	// MaxRetries bounds how many times a transient storage error
 	// (storage.ErrTransient) is retried on the fill, writeback and swap
 	// paths. 0 disables retrying: every storage error propagates at once.
@@ -171,6 +178,33 @@ type Generic struct {
 	// freshOnly makes ReceiveSlots hand out brand-new consecutive slot
 	// numbers instead of recycling, so a grant forms a contiguous run.
 	freshOnly bool
+
+	// Superpage plane (super.go; all nil/zero unless Config.ExtentOrder>0).
+	extents     map[resKey]*extentState // extent base -> density state
+	promotedExt []resKey                // promoted extents, promotion order
+	superStats  SuperStats
+	extScratch  []int64
+	attrScratch []kernel.PageAttribute
+	// extRuns is the extent-run magazine: start slots (free segment) of
+	// granted, frame-backed, extent-length runs awaiting an extent fill.
+	// The slots are withheld from freeSlots so per-page allocation cannot
+	// break a run; flushExtentRuns returns them (see super.go).
+	extRuns         []int64
+	runRangeScratch [1]kernel.PageRange // extent fill's single-range batch
+	runSlotScratch  []int64             // requeueExtentRun's slot buffer
+	// extStatePool recycles extentState structs (one churns per extent
+	// fill) so the fast path stays off the allocator.
+	extStatePool []*extentState
+	// freeRunStarts are start slots of aligned, currently-empty runs of
+	// 2^ExtentOrder consecutive free-segment slots left behind by past
+	// extent fills. Magazine refills reuse them (staged through
+	// runSlotQueue) instead of minting fresh slot numbers, so the free
+	// segment's page store stays bounded by the working set instead of
+	// growing with every refill.
+	freeRunStarts   []int64
+	runSlotQueue    []int64 // preselected slots for an in-flight refill
+	runSlotNext     int     // consumption cursor into runSlotQueue
+	runStartScratch []int64 // refill's slot-plan scratch (run starts)
 }
 
 var _ kernel.Manager = (*Generic)(nil)
@@ -328,6 +362,11 @@ func (g *Generic) ReceiveSlotsAppend(dst []int64, n int) []int64 {
 // receiveSlot is the single-slot form of ReceiveSlots, sparing the slice
 // allocation on the eviction hot path.
 func (g *Generic) receiveSlot() int64 {
+	if g.runSlotNext < len(g.runSlotQueue) {
+		s := g.runSlotQueue[g.runSlotNext]
+		g.runSlotNext++
+		return s
+	}
 	if !g.freshOnly && len(g.emptySlots) > 0 {
 		s := g.emptySlots[len(g.emptySlots)-1]
 		g.emptySlots = g.emptySlots[:len(g.emptySlots)-1]
@@ -358,6 +397,7 @@ func (g *Generic) FramesGranted(slots []int64) {
 // Adopt scans the free-page segment for frames migrated in directly (by
 // tests or privileged setup code) and adds them to the free list.
 func (g *Generic) Adopt() {
+	g.flushExtentRuns() // withheld run slots must scan as known free slots
 	known := make(map[int64]bool)
 	for _, fs := range g.freeSlots {
 		known[fs.slot] = true
@@ -372,6 +412,14 @@ func (g *Generic) Adopt() {
 		}
 	}
 }
+
+// RunsGranted records a magazine grant of n frames (see takeExtentRun):
+// the frames stay parked at their granted slots under the extent-run
+// magazine's control instead of joining freeSlots — the run source calls
+// this in place of FramesGranted, so the per-slot free-list bookkeeping
+// (and its undo, since a magazine refill would withhold every granted slot
+// again immediately) never runs.
+func (g *Generic) RunsGranted(n int) { g.stats.Grants += int64(n) }
 
 // HandleFault implements kernel.Manager.
 func (g *Generic) HandleFault(f kernel.Fault) error {
@@ -427,6 +475,15 @@ func (g *Generic) PageIn(f kernel.Fault) error {
 			g.addResident(key)
 			g.stats.FastRefaults++
 			return nil
+		}
+	}
+
+	// Superpage fast path: a fault on a fully-absent extent pages the whole
+	// extent in over one contiguous frame run (one batched migration, one
+	// SuperpageOp charge). Off by default — the gate is an integer compare.
+	if f.Kind == kernel.FaultMissing && g.superOn() {
+		if handled, err := g.pageInExtent(f); handled || err != nil {
+			return err
 		}
 	}
 
@@ -563,6 +620,9 @@ func (g *Generic) addResident(key resKey) {
 	p := g.policyFor(key.seg)
 	g.host.p = p
 	p.Insert(&g.host, PageID{Seg: key.seg, Page: key.page})
+	if g.superOn() {
+		g.extAdd(key)
+	}
 }
 
 func (g *Generic) removeResident(key resKey) {
@@ -581,6 +641,9 @@ func (g *Generic) removeResident(key resKey) {
 	p := g.policyFor(key.seg)
 	g.host.p = p
 	p.Remove(&g.host, PageID{Seg: key.seg, Page: key.page})
+	if g.cfg.ExtentOrder > 0 {
+		g.extRemove(key)
+	}
 }
 
 // policyFor returns the replacement policy bound to a segment (the default
@@ -685,6 +748,16 @@ func (g *Generic) Reclaim(n int, constraint phys.Range) (int, error) {
 		return g.reclaimByPolicy(n, constraint)
 	}
 	reclaimed := 0
+	// Extent-first: evict whole promoted extents before per-page selection
+	// (constrained passes skip this — extent frames are wherever the run
+	// was granted). No-op unless the superpage plane is active.
+	if g.superOn() && !constraint.Constrained() && len(g.promotedExt) > 0 {
+		m, err := g.reclaimExtents(n)
+		reclaimed += m
+		if err != nil || reclaimed >= n {
+			return reclaimed, err
+		}
+	}
 	for pi := 0; pi < len(g.policies) && reclaimed < n; pi++ {
 		p := g.policies[pi]
 		for reclaimed < n {
@@ -810,6 +883,7 @@ func (g *Generic) ReturnFreeFrames(n int) (int, error) {
 	if g.cfg.Source == nil {
 		return 0, nil
 	}
+	g.flushExtentRuns() // magazine frames are returnable like any free slot
 	var slots []int64
 	for i := 0; i < len(g.freeSlots) && len(slots) < n; {
 		if !g.freeSlots[i].recall {
@@ -874,6 +948,7 @@ func (g *Generic) SegmentDeleted(s *kernel.Segment) {
 		}
 	}
 	g.resIdx.dropSeg(s)
+	g.extDropSeg(s)
 	delete(g.managed, s.ID())
 	if g.multiPolicy {
 		delete(g.segPolicy, s.ID())

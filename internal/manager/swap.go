@@ -108,6 +108,7 @@ func (g *Generic) SwapIn(seg *kernel.Segment, pages []int64) (SwapStats, error) 
 // freed frames to the frame source, and report how many frames went back.
 // The application is then ready to be suspended; Resume undoes it.
 func (g *Generic) Quiesce(segs []*kernel.Segment) (int, error) {
+	g.flushExtentRuns() // count withheld runs in the free-slot total below
 	for _, seg := range segs {
 		if _, err := g.SwapOut(seg); err != nil {
 			return 0, err

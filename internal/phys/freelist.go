@@ -1,6 +1,9 @@
 package phys
 
 import (
+	"fmt"
+	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -13,6 +16,13 @@ import (
 const freeListStripes = 16
 
 const freeListBlockShift = 6 // 64-frame blocks
+const freeListBlockSize = 1 << freeListBlockShift
+
+// MaxRunOrder is the largest run AllocRun can serve: 2^MaxRunOrder frames.
+// An aligned run of at most freeListBlockSize frames lies entirely within
+// one PFN block, and so within one stripe — which is what makes run search
+// a single-stripe operation.
+const MaxRunOrder = freeListBlockShift
 
 // FreeList is a striped free-frame pool. Pop and Push on different stripes
 // never contend, which is what lets one manager's grant proceed while
@@ -24,9 +34,85 @@ type FreeList struct {
 	rotor   atomic.Uint32 // start stripe for unconstrained pops
 }
 
+// freeStripe holds one shard of the pool. The block bitmaps are the
+// AUTHORITY on which frames are free; the LIFO slice only carries pop
+// recency and may contain stale entries (frames whose bit has since been
+// cleared by AllocRun or RemoveAll) and duplicates (a frame re-pushed while
+// a stale entry for it still sits deeper in the slice). Readers skip any
+// entry whose bit is clear; when a pfn appears twice with its bit set, the
+// first copy taken claims the frame and the other copy goes stale. This
+// laziness is what makes AllocRun O(run length): it clears bits and leaves
+// the slice alone, instead of rewriting the whole stripe to drop 16
+// entries. Push compacts the slice when stale entries outnumber live ones.
 type freeStripe struct {
 	mu   sync.Mutex
-	pfns []int64 // LIFO
+	pfns []int64
+	live int // popcount across blocks: the number of free frames
+	// blocks is the buddy view of the frames: block-base PFN -> bitmap of
+	// which of its freeListBlockSize frames are free. Frames freed as
+	// singles coalesce here for free — a full aligned submask IS a run —
+	// so AllocRun never needs an explicit buddy-merge pass.
+	blocks map[int64]uint64
+}
+
+// bit reports whether pfn is free (caller holds mu).
+func (s *freeStripe) bit(pfn int64) bool {
+	base := pfn &^ (freeListBlockSize - 1)
+	return s.blocks[base]&(1<<uint(pfn-base)) != 0
+}
+
+// setBit marks pfn free in the stripe's block bitmaps (caller holds mu).
+func (s *freeStripe) setBit(pfn int64) {
+	if s.blocks == nil {
+		s.blocks = make(map[int64]uint64)
+	}
+	base := pfn &^ (freeListBlockSize - 1)
+	bit := uint64(1) << uint(pfn-base)
+	if s.blocks[base]&bit == 0 {
+		s.blocks[base] |= bit
+		s.live++
+	}
+}
+
+// clearBit marks pfn allocated (caller holds mu).
+func (s *freeStripe) clearBit(pfn int64) {
+	base := pfn &^ (freeListBlockSize - 1)
+	if m, ok := s.blocks[base]; ok {
+		bit := uint64(1) << uint(pfn-base)
+		if m&bit == 0 {
+			return
+		}
+		m &^= bit
+		s.live--
+		if m == 0 {
+			delete(s.blocks, base)
+		} else {
+			s.blocks[base] = m
+		}
+	}
+}
+
+// compact drops stale and duplicate entries, keeping the newest copy of
+// every live frame in LIFO order (caller holds mu). Amortized by the
+// len > 2*live trigger in Push.
+func (s *freeStripe) compact() {
+	seen := make(map[int64]bool, s.live)
+	kept := s.pfns[:0]
+	// Walk oldest→newest recording only the newest copy: mark from the tail.
+	for i := len(s.pfns) - 1; i >= 0; i-- {
+		p := s.pfns[i]
+		if s.bit(p) && !seen[p] {
+			seen[p] = true
+		} else {
+			s.pfns[i] = -1 // stale or older duplicate
+		}
+	}
+	for _, p := range s.pfns {
+		if p >= 0 {
+			kept = append(kept, p)
+		}
+	}
+	s.pfns = kept
 }
 
 func stripeOf(pfn int64) int {
@@ -40,6 +126,7 @@ func NewFreeList(pfns []int64) *FreeList {
 	for _, p := range pfns {
 		s := &f.stripes[stripeOf(p)]
 		s.pfns = append(s.pfns, p)
+		s.setBit(p)
 	}
 	return f
 }
@@ -61,14 +148,23 @@ func (f *FreeList) Pop(n int, admit func(pfn int64) bool) []int64 {
 		if admit == nil {
 			for len(out) < n && len(s.pfns) > 0 {
 				last := len(s.pfns) - 1
-				out = append(out, s.pfns[last])
+				p := s.pfns[last]
 				s.pfns = s.pfns[:last]
+				if !s.bit(p) {
+					continue // stale entry: frame already taken
+				}
+				out = append(out, p)
+				s.clearBit(p)
 			}
 		} else {
 			kept := s.pfns[:0]
 			for _, p := range s.pfns {
+				if !s.bit(p) {
+					continue // stale: drop while we're rewriting anyway
+				}
 				if len(out) < n && admit(p) {
 					out = append(out, p)
+					s.clearBit(p)
 				} else {
 					kept = append(kept, p)
 				}
@@ -86,6 +182,10 @@ func (f *FreeList) Push(pfns []int64) {
 		s := &f.stripes[stripeOf(p)]
 		s.mu.Lock()
 		s.pfns = append(s.pfns, p)
+		s.setBit(p)
+		if len(s.pfns) > 2*s.live+freeListBlockSize {
+			s.compact()
+		}
 		s.mu.Unlock()
 	}
 }
@@ -96,7 +196,7 @@ func (f *FreeList) Len() int {
 	for i := range f.stripes {
 		s := &f.stripes[i]
 		s.mu.Lock()
-		n += len(s.pfns)
+		n += s.live
 		s.mu.Unlock()
 	}
 	return n
@@ -110,7 +210,13 @@ func (f *FreeList) Snapshot() []int64 {
 	for i := range f.stripes {
 		s := &f.stripes[i]
 		s.mu.Lock()
-		out = append(out, s.pfns...)
+		for base, bs := range s.blocks {
+			for bs != 0 {
+				b := bits.TrailingZeros64(bs)
+				bs &^= 1 << uint(b)
+				out = append(out, base+int64(b))
+			}
+		}
 		s.mu.Unlock()
 	}
 	return out
@@ -142,34 +248,176 @@ func (f *FreeList) RemoveAll(pfns []int64) bool {
 			f.stripes[i].mu.Unlock()
 		}
 	}()
-	// Verify everything is present before removing anything.
+	// Verify everything is present before removing anything. The request
+	// itself must not repeat a frame: the bitmap holds one bit per frame.
 	for i, want := range byStripe {
-		have := make(map[int64]int, len(f.stripes[i].pfns))
-		for _, p := range f.stripes[i].pfns {
-			have[p]++
-		}
+		dup := make(map[int64]bool, len(want))
 		for _, p := range want {
-			if have[p] == 0 {
+			if dup[p] || !f.stripes[i].bit(p) {
 				return false
 			}
-			have[p]--
+			dup[p] = true
 		}
 	}
 	for i, want := range byStripe {
-		drop := make(map[int64]int, len(want))
 		for _, p := range want {
-			drop[p]++
+			f.stripes[i].clearBit(p)
 		}
-		s := &f.stripes[i]
-		kept := s.pfns[:0]
-		for _, p := range s.pfns {
-			if drop[p] > 0 {
-				drop[p]--
-				continue
-			}
-			kept = append(kept, p)
-		}
-		s.pfns = kept
 	}
 	return true
+}
+
+// AllocRun removes and returns one aligned run of 2^order consecutive free
+// frames (PFNs ascending), or nil when no such run exists. order is capped
+// at MaxRunOrder so the run lies within one PFN block and the whole search
+// is a per-stripe bitmap scan: an aligned all-ones submask of a block
+// bitmap IS a run, so frames freed as singles re-coalesce into runs with
+// no merge pass. admit (nil admits everything) must accept every frame of
+// the run for it to qualify.
+func (f *FreeList) AllocRun(order int, admit func(pfn int64) bool) []int64 {
+	run, ok := f.AllocRunAppend(nil, order, admit)
+	if !ok {
+		return nil
+	}
+	return run
+}
+
+// AllocRunAppend is AllocRun appending the run's frames to dst, so batched
+// callers (granting several runs in one call) reuse one buffer instead of
+// allocating per run. It returns the extended slice and whether a run was
+// found; on failure dst is returned unchanged.
+func (f *FreeList) AllocRunAppend(dst []int64, order int, admit func(pfn int64) bool) ([]int64, bool) {
+	if order < 0 || order > MaxRunOrder {
+		return dst, false
+	}
+	runLen := 1 << order
+	mask := uint64(1)<<runLen - 1 // runLen==64 wraps to all-ones, as wanted
+	start := int(f.rotor.Add(1)) % freeListStripes
+	for i := 0; i < freeListStripes; i++ {
+		s := &f.stripes[(start+i)%freeListStripes]
+		s.mu.Lock()
+		if out, ok := s.takeRun(dst, runLen, mask, admit); ok {
+			s.mu.Unlock()
+			return out, true
+		}
+		s.mu.Unlock()
+	}
+	return dst, false
+}
+
+// takeRun finds and removes one aligned run of runLen frames from the
+// stripe, appending them to dst (caller holds mu). Runs are probed at
+// aligned offsets only, so a returned run is always naturally aligned to
+// its own length. Removal is bitmap-only — the run's LIFO entries go stale
+// and are skipped (and eventually compacted) by later pops.
+func (s *freeStripe) takeRun(dst []int64, runLen int, mask uint64, admit func(pfn int64) bool) ([]int64, bool) {
+scan:
+	for base, bs := range s.blocks {
+		for off := 0; off+runLen <= freeListBlockSize; off += runLen {
+			m := mask << uint(off)
+			if bs&m != m {
+				continue
+			}
+			lo, hi := base+int64(off), base+int64(off+runLen)
+			if admit != nil {
+				for p := lo; p < hi; p++ {
+					if !admit(p) {
+						continue scan
+					}
+				}
+			}
+			for p := lo; p < hi; p++ {
+				dst = append(dst, p)
+			}
+			// Clear the whole run in one bitmap write (every bit in m was
+			// verified set above, so live drops by exactly runLen).
+			if nb := bs &^ m; nb == 0 {
+				delete(s.blocks, base)
+			} else {
+				s.blocks[base] = nb
+			}
+			s.live -= runLen
+			return dst, true
+		}
+	}
+	return dst, false
+}
+
+// CheckInvariants verifies, per stripe, that the bitmaps and the LIFO slice
+// agree: the live counter matches the bitmap popcount, every free frame has
+// at least one slice entry, no frame is filed under the wrong stripe, and
+// no bitmap is empty. Stale slice entries (bit cleared) and duplicates are
+// legal — they are the cost of O(1) run removal — but may never outnumber
+// the compaction bound. It locks one stripe at a time, so it is safe to
+// call while other goroutines allocate (each stripe's check is atomic on
+// its own).
+func (f *FreeList) CheckInvariants() error {
+	for i := range f.stripes {
+		s := &f.stripes[i]
+		s.mu.Lock()
+		inSlice := make(map[int64]bool, len(s.pfns))
+		for _, p := range s.pfns {
+			if stripeOf(p) != i {
+				s.mu.Unlock()
+				return fmt.Errorf("phys: pfn %d filed under stripe %d, home is %d", p, i, stripeOf(p))
+			}
+			inSlice[p] = true
+		}
+		bitCount := 0
+		for base, bs := range s.blocks {
+			if bs == 0 {
+				s.mu.Unlock()
+				return fmt.Errorf("phys: stripe %d holds empty bitmap for block %d", i, base)
+			}
+			bitCount += bits.OnesCount64(bs)
+			for b := 0; b < freeListBlockSize; b++ {
+				if bs&(1<<uint(b)) != 0 && !inSlice[base+int64(b)] {
+					s.mu.Unlock()
+					return fmt.Errorf("phys: pfn %d set in stripe %d bitmap but not in free slice", base+int64(b), i)
+				}
+			}
+		}
+		if bitCount != s.live {
+			s.mu.Unlock()
+			return fmt.Errorf("phys: stripe %d live counter %d, bitmap holds %d", i, s.live, bitCount)
+		}
+		if bitCount > len(s.pfns) {
+			s.mu.Unlock()
+			return fmt.Errorf("phys: stripe %d bitmap holds %d frames, slice only %d entries", i, bitCount, len(s.pfns))
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// LongestRun reports the length of the longest aligned run currently
+// available at the given order granularity — diagnostics for experiments
+// and tests, not an allocation primitive.
+func (f *FreeList) LongestRun() int {
+	best := 0
+	for i := range f.stripes {
+		s := &f.stripes[i]
+		s.mu.Lock()
+		bases := make([]int64, 0, len(s.blocks))
+		for base := range s.blocks {
+			bases = append(bases, base)
+		}
+		sort.Slice(bases, func(a, b int) bool { return bases[a] < bases[b] })
+		for _, base := range bases {
+			bs := s.blocks[base]
+			run := 0
+			for b := 0; b < freeListBlockSize; b++ {
+				if bs&(1<<uint(b)) != 0 {
+					run++
+					if run > best {
+						best = run
+					}
+				} else {
+					run = 0
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return best
 }

@@ -50,6 +50,14 @@ type CostModel struct {
 	ModifyFlags time.Duration
 	// MappingUpdate is a single mapping hash-table or page-table update.
 	MappingUpdate time.Duration
+	// SuperpageOp is one extent-granular mapping operation: migrating or
+	// re-protecting a whole aligned superpage extent through a single
+	// mapping entry, whatever the extent's order. It prices like one
+	// base-page migrate plus one mapping update — the point of the paper's
+	// multiple page sizes is that the per-page bookkeeping disappears, so
+	// the cost does not scale with 2^order. Charged only on the superpage
+	// fast paths, which are off by default; no golden table composes it.
+	SuperpageOp time.Duration
 	// TLBFill is a kernel-handled TLB refill (simple misses are handled in
 	// the kernel on the R3000 and are nearly free).
 	TLBFill time.Duration
@@ -99,6 +107,7 @@ func DECstation5000() *CostModel {
 		MigratePage:     25 * time.Microsecond,
 		ModifyFlags:     10 * time.Microsecond,
 		MappingUpdate:   4 * time.Microsecond,
+		SuperpageOp:     29 * time.Microsecond,
 		TLBFill:         2 * time.Microsecond,
 		CopyPage:        145 * time.Microsecond,
 		ZeroPage:        75 * time.Microsecond,

@@ -18,6 +18,7 @@ package spcm
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -486,41 +487,173 @@ func (s *SPCM) RequestContiguous(g *manager.Generic, n int) (int, error) {
 		s.unmetDemand.Add(int64(n))
 		return 0, nil
 	}
-	// A private frame cache hides frames from the run search below; hand
-	// them back first. (Contiguous requests come from the account's own
-	// lane, the cache's owner context.)
-	if a.cache != nil {
-		a.cache.Drain()
+	// Power-of-two runs take the aligned fast paths: the account's private
+	// run magazine first, then the free list's buddy-style run allocator,
+	// then splitting a run of the next order up — keep the front half, park
+	// the naturally aligned remainder in the magazine (or the pool). Every
+	// path charges the market identically: the charges hang off the settle
+	// above and the grant migration below, not off where the frames came
+	// from. Runs from these paths are naturally aligned (PFN ≡ 0 mod n), so
+	// a large page or superpage extent built over them promotes cleanly.
+	var picked []int64
+	if order := runOrder(n); order >= 0 {
+		if a.cache != nil {
+			picked = a.cache.PopRun(n)
+		}
+		if picked == nil {
+			picked = s.free.AllocRun(order, nil)
+		}
+		if picked == nil && order < phys.MaxRunOrder {
+			if double := s.free.AllocRun(order+1, nil); double != nil {
+				picked = double[:n:n]
+				if a.cache != nil {
+					a.cache.PushRun(double[n:])
+				} else {
+					s.free.Push(double[n:])
+				}
+			}
+		}
 	}
-	// Snapshot → find run → remove all-or-nothing; a racing grant can
-	// steal part of the run between the snapshot and the removal, so retry
-	// a few times before reporting the pool fragmented.
-	for attempt := 0; attempt < 4; attempt++ {
-		run := findRun(s.free.Snapshot(), n)
-		if run < 0 {
+	if picked == nil {
+		// Legacy path: non-power-of-two lengths, or a pool too fragmented
+		// for the aligned allocator. The private cache hides frames from the
+		// run search; hand them back first. (Contiguous requests come from
+		// the account's own lane, the cache's owner context.)
+		if a.cache != nil {
+			a.cache.Drain()
+		}
+		// Snapshot → find run → remove all-or-nothing; a racing grant can
+		// steal part of the run between the snapshot and the removal, so
+		// retry a few times before reporting the pool fragmented.
+		for attempt := 0; attempt < 4; attempt++ {
+			run := findRun(s.free.Snapshot(), n)
+			if run < 0 {
+				break
+			}
+			cand := make([]int64, n)
+			for i := 0; i < n; i++ {
+				cand[i] = run + int64(i)
+			}
+			if s.free.RemoveAll(cand) {
+				picked = cand
+				break
+			}
+		}
+	}
+	if picked == nil {
+		s.stats.deferred.Add(1)
+		s.unmetDemand.Add(int64(n))
+		return 0, nil
+	}
+	slots := g.ReceiveSlots(n)
+	ranges := kernel.CoalesceRanges(picked, slots)
+	if err := s.k.MigratePagesBatch(kernel.SystemCred, s.k.BootSegment(), g.FreeSegment(),
+		ranges, 0, 0); err != nil {
+		s.free.Push(picked)
+		return 0, err
+	}
+	g.FramesGranted(slots)
+	s.stats.granted.Add(int64(n))
+	return n, nil
+}
+
+// RequestContiguousRuns grants up to count physically contiguous, naturally
+// aligned runs of n frames each in ONE market round trip: one account
+// settle, one veto check, and one batched boot-segment migration with one
+// range per run — so a manager refilling its extent-run magazine pays the
+// grant overhead once per count extents instead of once per extent. Only
+// power-of-two n within the free list's aligned-run reach is served (other
+// shapes fall back to RequestContiguous); the reply is the number of whole
+// runs granted, which may be less than count — zero when the pool has no
+// aligned run at all, leaving the caller to the single-run path and its
+// split/legacy fallbacks.
+func (s *SPCM) RequestContiguousRuns(g *manager.Generic, n, count int) (int, error) {
+	order := runOrder(n)
+	if order < 0 || count <= 0 {
+		return 0, nil
+	}
+	a, gate, err := s.lookup(g)
+	if err != nil {
+		return 0, err
+	}
+	a.mu.Lock()
+	s.settleLocked(a)
+	insolvent := a.balance < s.policy.MinGrantBalance
+	a.mu.Unlock()
+	if insolvent {
+		s.stats.refused.Add(1)
+		return 0, nil
+	}
+	if s.vetoed(gate, n) {
+		s.stats.refused.Add(1)
+		s.unmetDemand.Add(int64(n))
+		return 0, nil
+	}
+	// The account scratch buffers are reusable only on the cache-owning
+	// lane (the same serialization RequestFrames relies on); without a
+	// cache each call allocates its own.
+	var pfns []int64
+	if a.cache != nil {
+		pfns = a.grantPFNs[:0]
+	}
+	runs := 0
+	for runs < count {
+		if a.cache != nil {
+			if run := a.cache.PopRun(n); run != nil {
+				pfns = append(pfns, run...)
+				runs++
+				continue
+			}
+		}
+		var ok bool
+		if pfns, ok = s.free.AllocRunAppend(pfns, order, nil); !ok {
 			break
 		}
-		picked := make([]int64, n)
-		for i := 0; i < n; i++ {
-			picked[i] = run + int64(i)
-		}
-		if !s.free.RemoveAll(picked) {
-			continue
-		}
-		slots := g.ReceiveSlots(n)
-		ranges := kernel.CoalesceRanges(picked, slots)
-		if err := s.k.MigratePagesBatch(kernel.SystemCred, s.k.BootSegment(), g.FreeSegment(),
-			ranges, 0, 0); err != nil {
-			s.free.Push(picked)
-			return 0, err
-		}
-		g.FramesGranted(slots)
-		s.stats.granted.Add(int64(n))
-		return n, nil
+		runs++
 	}
-	s.stats.deferred.Add(1)
-	s.unmetDemand.Add(int64(n))
-	return 0, nil
+	if a.cache != nil {
+		a.grantPFNs = pfns
+	}
+	if runs == 0 {
+		s.stats.deferred.Add(1)
+		s.unmetDemand.Add(int64(n))
+		return 0, nil
+	}
+	total := runs * n
+	var slots []int64
+	if a.cache != nil {
+		a.grantSlots = g.ReceiveSlotsAppend(a.grantSlots[:0], total)
+		slots = a.grantSlots
+	} else {
+		slots = g.ReceiveSlots(total)
+	}
+	var ranges []kernel.PageRange
+	if a.cache != nil {
+		ranges = a.grantRanges[:0]
+	}
+	for j := 0; j < runs; j++ {
+		ranges = append(ranges, kernel.PageRange{Page: pfns[j*n], To: slots[j*n], Pages: int64(n)})
+	}
+	if a.cache != nil {
+		a.grantRanges = ranges
+	}
+	if err := s.k.MigratePagesBatch(kernel.SystemCred, s.k.BootSegment(), g.FreeSegment(),
+		ranges, 0, 0); err != nil {
+		s.free.Push(pfns)
+		return 0, err
+	}
+	g.RunsGranted(total)
+	s.stats.granted.Add(int64(total))
+	return runs, nil
+}
+
+// runOrder returns log2(n) when n is a power of two no larger than the free
+// list's largest aligned run, else -1.
+func runOrder(n int) int {
+	if n < 1 || n > 1<<phys.MaxRunOrder || n&(n-1) != 0 {
+		return -1
+	}
+	return bits.TrailingZeros(uint(n))
 }
 
 // findRun locates n consecutive free PFNs in a pool snapshot, returning the

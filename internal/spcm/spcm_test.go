@@ -557,13 +557,27 @@ func TestLaneCacheGrantPath(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Contiguous requests must see cached frames in the run search.
+	// Contiguous requests are served without draining the cache while the
+	// shared pool still has an aligned run (the buddy allocator path).
 	n, err = fx.s.RequestContiguous(g, 4)
 	if err != nil || n != 4 {
 		t.Fatalf("contiguous n=%d err=%v", n, err)
 	}
+	if a.cache.Len() == 0 {
+		t.Fatal("aligned-run grant should not have drained the cache")
+	}
+	if err := fx.s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Odd-length requests take the legacy run search, which must see the
+	// cached frames: the cache drains back to the pool first.
+	n, err = fx.s.RequestContiguous(g, 3)
+	if err != nil || n != 3 {
+		t.Fatalf("odd contiguous n=%d err=%v", n, err)
+	}
 	if a.cache.Len() != 0 {
-		t.Fatalf("cache holds %d after contiguous drain", a.cache.Len())
+		t.Fatalf("cache holds %d after legacy-path drain", a.cache.Len())
 	}
 	if err := fx.s.CheckInvariants(); err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@
 #   scripts/benchdiff.sh compare             # run again, print old vs new
 #   scripts/benchdiff.sh diff OLD.bench NEW.bench   # compare two files
 #   scripts/benchdiff.sh scale               # diff the last two scale sweeps
+#   scripts/benchdiff.sh super               # diff the last two superpage sweeps
 #   scripts/benchdiff.sh policy              # diff the last two policy shootout sweeps
 #   scripts/benchdiff.sh time                # diff the last two time-engine sweeps
 #
@@ -77,6 +78,12 @@ scale)
     # never fails the build.
     go run ./cmd/reproduce -scalediff || true
     ;;
+super)
+    # Per-cell diff (wall faults/s and allocs/fault; cells keyed by extent
+    # order so base and super arms never collide) of the last two sweeps
+    # recorded in BENCH_super.json. Advisory: never fails the build.
+    go run ./cmd/reproduce -superdiff || true
+    ;;
 policy)
     # Per-cell diff (hit rate and model fault latency) of the last two
     # sweeps recorded in BENCH_policy.json. Hit rates are virtual-time
@@ -91,7 +98,7 @@ time)
     go run ./cmd/reproduce -timediff || true
     ;;
 *)
-    echo "usage: benchdiff.sh [baseline|compare|diff OLD NEW|scale|policy|time]" >&2
+    echo "usage: benchdiff.sh [baseline|compare|diff OLD NEW|scale|super|policy|time]" >&2
     exit 2
     ;;
 esac

@@ -31,6 +31,7 @@ go test -race -run Chaos -count=1 ./internal/core ./internal/spcm ./internal/ker
 echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz='^FuzzMappingTable$' -fuzztime=10s ./internal/kernel
 go test -run='^$' -fuzz='^FuzzCASTable$' -fuzztime=10s ./internal/kernel
+go test -run='^$' -fuzz='^FuzzExtentTable$' -fuzztime=10s ./internal/kernel
 go test -run='^$' -fuzz='^FuzzUIO$' -fuzztime=10s ./internal/uio
 go test -run='^$' -fuzz='^FuzzMailbox$' -fuzztime=10s ./internal/plane
 go test -run='^$' -fuzz='^FuzzPolicy$' -fuzztime=10s ./internal/manager
@@ -44,12 +45,20 @@ go test -bench=BatchMigrate -benchtime=1x -run='^$' ./internal/kernel
 echo "== policy shootout smoke (2 policies x 1 workload) =="
 policy_tmp=$(mktemp)
 time_tmp=$(mktemp)
-trap 'rm -f "$policy_tmp" "$time_tmp"' EXIT
+super_tmp=$(mktemp)
+trap 'rm -f "$policy_tmp" "$time_tmp" "$super_tmp"' EXIT
 go run ./cmd/reproduce -table 1 -policy -policies clock,s3fifo -policyworkloads zipf \
     -policyrefs 4000 -policyout "$policy_tmp" > /dev/null
 
 echo "== time-engine sweep smoke (1 and 4 shards) =="
 go run ./cmd/reproduce -table 1 -time -timeshards 1,4 -timeevents 20000 \
     -timefile "$time_tmp" > /dev/null
+
+echo "== superpage sweep smoke (base vs super, 2 managers) =="
+# The sweep's >=2x gate is wall-clock at 8 managers; the smoke only checks
+# that both arms run and render (wall numbers never gate a merge).
+{ go run ./cmd/reproduce -table 1 -supersweep -supermanagers 2 \
+    -superfaults 512 -superfile "$super_tmp" || true; } |
+    grep -q "Superpage Extent Fast Path"
 
 echo "All checks passed."
