@@ -17,6 +17,8 @@
 //	reproduce -plane                 # also run the delivery-plane scaling table
 //	reproduce -plane -managers 1,2,4 # plane table over chosen manager counts
 //	reproduce -batch=false           # disable batched kernel operations
+//	reproduce -vector=false          # disable vectored fault delivery
+//	reproduce -profile out/          # write mutex/block pprof profiles to a directory
 //	reproduce -scale                 # wall-clock scale sweep -> BENCH_scale.json
 //	reproduce -scalediff             # diff the last two scale sweeps and exit
 //	reproduce -super                 # enable the superpage extent fast path
@@ -37,7 +39,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -79,8 +83,13 @@ func main() {
 	sched := flag.String("sched", "serial", "fault-delivery scheduler: serial (deterministic) or concurrent")
 	planeTbl := flag.Bool("plane", false, "also run the delivery-plane throughput scaling table (wall-clock columns; not part of the golden output)")
 	batch := flag.Bool("batch", true, "use batched kernel operations (MigratePagesBatch/ModifyPageFlagsBatch)")
+	vector := flag.Bool("vector", true, "use vectored fault delivery under the concurrent scheduler (one upcall per drained fault run)")
+	profileDir := flag.String("profile", "", "write mutex and block pprof profiles to this directory at exit (plateau-hunt data)")
 	managersFlag := flag.String("managers", "1,4", "comma-separated manager counts for the -plane table")
 	scale := flag.Bool("scale", false, "run the wall-clock scale sweep (managers x scheduler x batch) and append it to BENCH_scale.json")
+	scaleManagers := flag.String("scalemanagers", "", "comma-separated manager counts for the -scale sweep (default: 1,2,4,8,16,32)")
+	scaleFaults := flag.Int("scalefaults", 0, "per-manager base fault count for the -scale sweep (default 32768)")
+	scaleFile := flag.String("scalefile", "BENCH_scale.json", "append-only trajectory file for the -scale sweep")
 	scaleDiff := flag.Bool("scalediff", false, "print a per-cell diff of the last two sweeps in BENCH_scale.json and exit")
 	super := flag.Bool("super", false, "enable the superpage extent fast path process-wide (off by default; the golden tables assume it off)")
 	superSweep := flag.Bool("supersweep", false, "run the superpage sweep (managers x {base, super}) and append it to -superfile")
@@ -145,6 +154,7 @@ func main() {
 		}
 	}
 	kernel.SetBatchOps(*batch)
+	kernel.SetVectoredDelivery(*vector)
 	kernel.SetSuperpages(*super)
 	if err := kernel.SetBootScheduler(*sched); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
@@ -158,6 +168,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(2)
+	}
+	if *profileDir != "" {
+		// Contention profiling for plateau hunts: sample every mutex hold
+		// and every blocking event for the whole run, and write the profiles
+		// out once the selected experiments finish. The sampling itself adds
+		// a little overhead, so profiled runs are for diagnosis, not for
+		// recorded benchmark numbers.
+		runtime.SetMutexProfileFraction(1)
+		runtime.SetBlockProfileRate(1)
+		defer writeProfiles(*profileDir)
 	}
 
 	var tasks []harness.Task[*experiments.Report]
@@ -233,7 +253,12 @@ func main() {
 	if *scale {
 		// The sweep toggles the process-global batch switch per cell, so it
 		// runs by itself after the harness tasks have drained.
-		rep, sweep, err := experiments.ScaleSweep(0, nil)
+		mgrs, err := parseScaleManagers(*scaleManagers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(2)
+		}
+		rep, sweep, err := experiments.ScaleSweep(*scaleFaults, mgrs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reproduce: scale sweep:", err)
 			ok = false
@@ -242,9 +267,9 @@ func main() {
 			ok = ok && rep.OK
 			// Compare against the previous recorded sweep before appending
 			// this one: the verdict names the worst-moving cell.
-			fmt.Println(experiments.ScaleRegressionVerdict("BENCH_scale.json", sweep))
-			if err := experiments.AppendBenchSweep("BENCH_scale.json", "scale-sweep", sweep); err != nil {
-				fmt.Fprintln(os.Stderr, "reproduce: writing BENCH_scale.json:", err)
+			fmt.Println(experiments.ScaleRegressionVerdict(*scaleFile, sweep))
+			if err := experiments.AppendBenchSweep(*scaleFile, "scale-sweep", sweep); err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce: writing", *scaleFile+":", err)
 				ok = false
 			}
 		}
@@ -327,7 +352,38 @@ func main() {
 		}
 	}
 	if !ok {
+		if *profileDir != "" {
+			writeProfiles(*profileDir)
+		}
 		os.Exit(1)
+	}
+}
+
+// writeProfiles dumps the mutex and block profiles collected during the
+// run (enabled by -profile) into dir, creating it if needed. Errors are
+// reported but never change the exit status: profiles are diagnostic
+// artifacts, not results.
+func writeProfiles(dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce: -profile:", err)
+		return
+	}
+	for _, name := range []string{"mutex", "block"} {
+		prof := pprof.Lookup(name)
+		if prof == nil {
+			continue
+		}
+		path := filepath.Join(dir, name+".pprof")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce: -profile:", err)
+			continue
+		}
+		if err := prof.WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce: -profile:", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "reproduce: wrote %s\n", path)
 	}
 }
 
@@ -343,6 +399,15 @@ func splitCSV(s string) []string {
 }
 
 // parseManagers parses the -managers comma list.
+// parseScaleManagers is parseManagers with an empty string meaning "use
+// the sweep's default ladder" (ScaleSweep fills in 1..32 for a nil list).
+func parseScaleManagers(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	return parseManagers(s)
+}
+
 func parseManagers(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {

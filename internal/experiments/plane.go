@@ -62,6 +62,16 @@ type PlaneOptions struct {
 	// working set is filled extent-at-a-time through contiguous grants.
 	// Zero measures the base-page path with superpages off.
 	ExtentOrder int
+	// NoVector disables vectored fault delivery for this run (the ablation
+	// arm). The zero value measures the real system: vectoring on.
+	NoVector bool
+	// Drivers is how many faulting goroutines drive each manager under the
+	// concurrent scheduler, each covering a contiguous sub-range of the
+	// manager's pages. One driver (the default) can never queue two faults
+	// behind one manager, so vectored batches only form with Drivers > 1 —
+	// the configuration modelling several application threads sharing one
+	// segment manager. Ignored by the serial scheduler.
+	Drivers int
 }
 
 // PlaneResult is the outcome of one throughput run.
@@ -69,6 +79,9 @@ type PlaneResult struct {
 	Scheduler         string        `json:"scheduler"`
 	Managers          int           `json:"managers"`
 	Batch             bool          `json:"batch"`
+	Vector            bool          `json:"vector,omitempty"`
+	Drivers           int           `json:"drivers,omitempty"`
+	VectoredBatches   int64         `json:"vectored_batches,omitempty"`
 	FaultsPerManager  int           `json:"faults_per_manager,omitempty"`
 	Faults            int64         `json:"faults"`
 	AllocsPerFault    float64       `json:"allocs_per_fault"`
@@ -139,6 +152,18 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 	prevSuper := kernel.SuperpagesEnabled()
 	kernel.SetSuperpages(opt.ExtentOrder > 0)
 	defer kernel.SetSuperpages(prevSuper)
+	// And the vectored-delivery toggle, the third process-global switch.
+	prevVector := kernel.VectoredDelivery()
+	kernel.SetVectoredDelivery(!opt.NoVector)
+	defer kernel.SetVectoredDelivery(prevVector)
+
+	drivers := opt.Drivers
+	if drivers <= 0 || !concurrent {
+		drivers = 1
+	}
+	if drivers > opt.FaultsPerManager {
+		drivers = opt.FaultsPerManager
+	}
 
 	const frameSize = 4096
 	workingSet := int64(opt.Managers) * int64(opt.FaultsPerManager) * frameSize
@@ -200,13 +225,14 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 	defer debug.SetGCPercent(gcPrev)
 	// Per-driver latency sample buffers, preallocated so appends never
 	// allocate inside the measured window.
-	samples := make([][]time.Duration, opt.Managers)
+	samples := make([][]time.Duration, opt.Managers*drivers)
 	for i := range samples {
-		samples[i] = make([]time.Duration, 0, opt.FaultsPerManager/latSampleEvery+1)
+		samples[i] = make([]time.Duration, 0, opt.FaultsPerManager/(drivers*latSampleEvery)+1)
 	}
 	clock.Reset()
 	faults0 := k.Stats().Faults
 	promotions0 := k.Stats().ExtentPromotions
+	vecBatches0 := k.Stats().VectoredBatches
 	vstart := clock.Now()
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
@@ -214,26 +240,34 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 
 	var firstErr error
 	if concurrent {
+		// Drivers goroutines per manager, each over a contiguous, disjoint
+		// sub-range of the manager's pages — several application threads
+		// faulting against one manager. With more than one, faults genuinely
+		// queue behind the manager's lane and vectored batches form.
 		var wg sync.WaitGroup
-		errs := make([]error, opt.Managers)
+		errs := make([]error, opt.Managers*drivers)
 		for i, seg := range segs {
-			wg.Add(1)
-			go func(i int, seg *kernel.Segment) {
-				defer wg.Done()
-				for p := int64(0); p < int64(opt.FaultsPerManager); p++ {
-					if p%latSampleEvery == 0 {
-						t0 := time.Now()
-						if err := k.Access(seg, p, kernel.Write); err != nil {
-							errs[i] = err
+			for d := 0; d < drivers; d++ {
+				lo := int64(d) * int64(opt.FaultsPerManager) / int64(drivers)
+				hi := int64(d+1) * int64(opt.FaultsPerManager) / int64(drivers)
+				wg.Add(1)
+				go func(idx int, seg *kernel.Segment, lo, hi int64) {
+					defer wg.Done()
+					for p := lo; p < hi; p++ {
+						if p%latSampleEvery == 0 {
+							t0 := time.Now()
+							if err := k.Access(seg, p, kernel.Write); err != nil {
+								errs[idx] = err
+								return
+							}
+							samples[idx] = append(samples[idx], time.Since(t0))
+						} else if err := k.Access(seg, p, kernel.Write); err != nil {
+							errs[idx] = err
 							return
 						}
-						samples[i] = append(samples[i], time.Since(t0))
-					} else if err := k.Access(seg, p, kernel.Write); err != nil {
-						errs[i] = err
-						return
 					}
-				}
-			}(i, seg)
+				}(i*drivers+d, seg, lo, hi)
+			}
 		}
 		wg.Wait()
 		for _, err := range errs {
@@ -278,6 +312,9 @@ func PlaneThroughput(opt PlaneOptions) (*PlaneResult, error) {
 		Scheduler:        opt.Scheduler,
 		Managers:         opt.Managers,
 		Batch:            !opt.NoBatch,
+		Vector:           !opt.NoVector,
+		Drivers:          drivers,
+		VectoredBatches:  k.Stats().VectoredBatches - vecBatches0,
 		FaultsPerManager: opt.FaultsPerManager,
 		Faults:           k.Stats().Faults - faults0,
 		Wall:             wall,

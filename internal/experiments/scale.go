@@ -19,9 +19,15 @@ import (
 // PlaneSweep is one recorded sweep: a timestamped group of runs appended to
 // a BENCH_*.json trajectory file.
 type PlaneSweep struct {
-	GeneratedAt      string        `json:"generated_at"`
+	GeneratedAt string `json:"generated_at"`
+	// GoMaxProcs is the value in effect while the sweep's cells ran (sweeps
+	// raise it to the widest cell); NumCPU is what the hardware can actually
+	// back. Both are always recorded — a 16-manager cell on a 1-CPU host is
+	// time-slicing, and readers comparing sweeps need to see that. Zero
+	// NumCPU only appears on sweeps converted from the legacy layout, which
+	// never recorded it.
 	GoMaxProcs       int           `json:"gomaxprocs"`
-	NumCPU           int           `json:"num_cpu,omitempty"`
+	NumCPU           int           `json:"num_cpu"`
 	FaultsPerManager int           `json:"faults_per_manager"`
 	Note             string        `json:"note,omitempty"`
 	Runs             []PlaneResult `json:"runs"`
@@ -35,6 +41,10 @@ type PlaneSweep struct {
 	// base arm at 8 managers — the superpage sweep's ≥2x acceptance
 	// number.
 	SuperSpeedup8Mgr float64 `json:"super_wall_speedup_8mgr_vs_base,omitempty"`
+	// VectorSpeedup16Mgr is the vectored-delivery arm's wall faults/sec
+	// over its vector-off ablation at 16 managers (both multi-driver) —
+	// the vectored sweep's headline ratio.
+	VectorSpeedup16Mgr float64 `json:"vector_wall_speedup_16mgr,omitempty"`
 }
 
 // NewPlaneSweep stamps an empty sweep with the current time, GOMAXPROCS
@@ -105,6 +115,11 @@ func AppendBenchSweep(path, benchmark string, sweep *PlaneSweep) error {
 // scaleReps is how many times each sweep cell runs; the cell reports its
 // best run (wall clock on a shared host only ever errs slow).
 const scaleReps = 5
+
+// vecDrivers is how many faulting goroutines drive each manager in the
+// sweep's vectored-delivery cells — enough producers per lane that drains
+// pop multi-fault runs.
+const vecDrivers = 4
 
 // ScaleSweep runs the full wall-clock scaling matrix: every manager count ×
 // serial/concurrent × batch on/off, sequentially (each cell toggles the
@@ -192,6 +207,65 @@ func ScaleSweep(faultsPerManager int, managers []int) (*Report, *PlaneSweep, err
 			}
 		}
 	}
+	// Vectored-delivery cells: vecDrivers faulting goroutines per manager,
+	// so faults genuinely queue behind each lane and multi-fault batches
+	// form; the vector-off arm is the ablation pair. Concurrent + batched
+	// only — vectoring is a concurrent-scheduler feature, and the kernel-op
+	// batch plane is what the batched resolve settles through.
+	fmt.Fprintf(b, "\nVectored delivery (%d drivers per manager, concurrent, batched)\n", vecDrivers)
+	fmt.Fprintf(b, "%-8s %9s %10s %12s %16s %16s %13s %9s %9s\n",
+		"Vector", "Managers", "Faults", "VecBatches", "Model faults/s", "Wall faults/s", "Allocs/fault", "p50(us)", "p99(us)")
+	for _, vector := range []bool{true, false} {
+		for _, n := range managers {
+			fpm := 4 * faultsPerManager / n
+			if fpm < 1024 {
+				fpm = 1024
+			}
+			var r *PlaneResult
+			for try := 0; try < scaleReps; try++ {
+				one, err := PlaneThroughput(PlaneOptions{
+					Scheduler:        "concurrent",
+					Managers:         n,
+					FaultsPerManager: fpm,
+					Drivers:          vecDrivers,
+					NoVector:         !vector,
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				rep.Events += one.Faults
+				if r == nil || one.WallFaultsPerSec > r.WallFaultsPerSec {
+					r = one
+				}
+			}
+			fmt.Fprintf(b, "%-8v %9d %10d %12d %16.0f %16.0f %13.3f %9.2f %9.2f\n",
+				r.Vector, r.Managers, r.Faults, r.VectoredBatches,
+				r.ModelFaultsPerSec, r.WallFaultsPerSec, r.AllocsPerFault,
+				r.P50FaultUS, r.P99FaultUS)
+			wall[fmt.Sprintf("vec/%d/%v", n, vector)] = r.WallFaultsPerSec
+			p99[fmt.Sprintf("vec/%d/%v", n, vector)] = r.P99FaultUS
+			sweep.Runs = append(sweep.Runs, *r)
+		}
+	}
+	if off, on := wall["vec/16/false"], wall["vec/16/true"]; off > 0 && on > 0 {
+		sweep.VectorSpeedup16Mgr = on / off
+		fmt.Fprintf(b, "vectored vs unvectored wall faults/s, 16 managers, %d drivers: %.2fx\n",
+			vecDrivers, sweep.VectorSpeedup16Mgr)
+	}
+	vecMono := true
+	prevV := 0.0
+	for _, n := range managers {
+		w, ok := wall[fmt.Sprintf("vec/%d/true", n)]
+		if !ok {
+			continue
+		}
+		if w < prevV {
+			vecMono = false
+		}
+		prevV = w
+	}
+	fmt.Fprintf(b, "vectored wall faults/s non-decreasing across manager counts: %v\n", vecMono)
+
 	// Monotonicity over the concurrent+batched row, 1 through 16 managers:
 	// the lock-free plane should never get slower as lanes are added.
 	prevW, mono := 0.0, true

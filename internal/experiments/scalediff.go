@@ -55,11 +55,15 @@ func diffSweeps(path, label string) (string, error) {
 		return b.String(), nil
 	}
 	old, cur := f.Sweeps[len(f.Sweeps)-2], f.Sweeps[len(f.Sweeps)-1]
-	fmt.Fprintf(b, "%s: %s (gomaxprocs=%d) -> %s (gomaxprocs=%d)\n",
-		label, old.GeneratedAt, old.GoMaxProcs, cur.GeneratedAt, cur.GoMaxProcs)
-	fmt.Fprintf(b, "%-12s %9s %6s %14s %14s %8s %12s %12s\n",
+	fmt.Fprintf(b, "%s: %s (gomaxprocs=%d num_cpu=%d) -> %s (gomaxprocs=%d num_cpu=%d)\n",
+		label, old.GeneratedAt, old.GoMaxProcs, old.NumCPU, cur.GeneratedAt, cur.GoMaxProcs, cur.NumCPU)
+	if old.NumCPU != cur.NumCPU {
+		fmt.Fprintf(b, "warning: sweeps ran on different CPU counts (%d vs %d); wall-clock deltas are not comparable\n",
+			old.NumCPU, cur.NumCPU)
+	}
+	fmt.Fprintf(b, "%-18s %9s %6s %14s %14s %8s %12s %12s %18s %18s\n",
 		"Scheduler", "Managers", "Batch", "old wall f/s", "new wall f/s", "delta",
-		"old allocs/f", "new allocs/f")
+		"old allocs/f", "new allocs/f", "p50(us) old->new", "p99(us) old->new")
 
 	key := diffKey
 	olds := map[string]PlaneResult{}
@@ -80,17 +84,45 @@ func diffSweeps(path, label string) (string, error) {
 				delta = fmt.Sprintf("%+.1f%%", 100*(r.WallFaultsPerSec-o.WallFaultsPerSec)/o.WallFaultsPerSec)
 			}
 		}
-		fmt.Fprintf(b, "%-12s %9d %6v %14s %14.0f %8s %12s %12.3f\n",
-			r.Scheduler, r.Managers, r.Batch, oldWall, r.WallFaultsPerSec, delta,
-			oldAllocs, r.AllocsPerFault)
+		// Latency columns: sweeps recorded before the percentile sampling
+		// existed carry zeros; show "-" for those.
+		oldP50, oldP99 := "-", "-"
+		if ok && o.P50FaultUS > 0 {
+			oldP50 = fmt.Sprintf("%.2f", o.P50FaultUS)
+		}
+		if ok && o.P99FaultUS > 0 {
+			oldP99 = fmt.Sprintf("%.2f", o.P99FaultUS)
+		}
+		fmt.Fprintf(b, "%-18s %9d %6v %14s %14.0f %8s %12s %12.3f %18s %18s\n",
+			schedLabel(r), r.Managers, r.Batch, oldWall, r.WallFaultsPerSec, delta,
+			oldAllocs, r.AllocsPerFault,
+			fmt.Sprintf("%s->%.2f", oldP50, r.P50FaultUS),
+			fmt.Sprintf("%s->%.2f", oldP99, r.P99FaultUS))
 	}
 	return b.String(), nil
 }
 
+// schedLabel renders a cell's scheduler with its delivery shape when the
+// cell used one beyond the default (multi-driver and/or unvectored).
+func schedLabel(r PlaneResult) string {
+	if r.Drivers > 1 {
+		return fmt.Sprintf("%s d%d v%v", r.Scheduler, r.Drivers, r.Vector)
+	}
+	return r.Scheduler
+}
+
 // diffKey identifies a sweep cell across sweeps: same scheduler, manager
 // count, batch mode and extent order (0 = base-page arm) are comparable.
+// Multi-driver cells additionally key on driver count and the vector
+// toggle; single-driver cells deliberately do not — one driver never forms
+// a batch, so pre-vectoring sweeps (which recorded neither field) compare
+// against today's single-driver cells as the same configuration.
 func diffKey(r PlaneResult) string {
-	return fmt.Sprintf("%s/%d/%v/o%d", r.Scheduler, r.Managers, r.Batch, r.ExtentOrder)
+	k := fmt.Sprintf("%s/%d/%v/o%d", r.Scheduler, r.Managers, r.Batch, r.ExtentOrder)
+	if r.Drivers > 1 {
+		k += fmt.Sprintf("/d%d/v%v", r.Drivers, r.Vector)
+	}
+	return k
 }
 
 // ScaleRegressionVerdict compares a just-measured sweep against the most

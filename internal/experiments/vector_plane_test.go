@@ -1,0 +1,41 @@
+package experiments
+
+// Regression harness for the vectored multi-driver plane cells: the exact
+// configuration the scale sweep's vectored section runs, at reduced size,
+// with the market invariants checked inside PlaneThroughput itself.
+
+import (
+	"testing"
+)
+
+// TestPlaneVectoredMultiDriver runs the vectored and ablated multi-driver
+// cells; PlaneThroughput's own post-run CheckInvariants (frame conservation
+// included) is the assertion. Both arms must resolve every fault.
+//
+// FaultsPerManager is sized so each driver's quarter starts beyond the page
+// store's direct-dense region: the high-range drivers then park early pages
+// in the sparse arm while the low-range driver's sequential growth overtakes
+// them — the exact interleaving that once shadowed sparse entries behind the
+// grown dense prefix and tripped frame conservation.
+func TestPlaneVectoredMultiDriver(t *testing.T) {
+	const fpm = 32768
+	for _, managers := range []int{1, 2} {
+		for _, noVector := range []bool{false, true} {
+			res, err := PlaneThroughput(PlaneOptions{
+				Scheduler:        "concurrent",
+				Managers:         managers,
+				FaultsPerManager: fpm,
+				Drivers:          4,
+				NoVector:         noVector,
+			})
+			if err != nil {
+				t.Fatalf("managers=%d noVector=%v: %v", managers, noVector, err)
+			}
+			want := int64(managers) * fpm
+			if res.Faults != want {
+				t.Fatalf("managers=%d noVector=%v: %d faults, want %d", managers, noVector, res.Faults, want)
+			}
+			t.Logf("managers=%d vector=%v: %d faults, %d vectored batches", managers, !noVector, res.Faults, res.VectoredBatches)
+		}
+	}
+}

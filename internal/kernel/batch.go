@@ -116,7 +116,7 @@ func (k *Kernel) MigratePagesBatch(cred Cred, src, dst *Segment, ranges []PageRa
 		}
 		return nil
 	}
-	k.stats.MigrateCalls.Add(1)
+	k.stats.MigrateCalls.Add(uint64(dst.id), 1)
 	lockPair(src, dst)
 	defer unlockPair(src, dst)
 	if src.fpp != dst.fpp {
@@ -205,7 +205,7 @@ func (k *Kernel) MigratePagesBatch(cred Cred, src, dst *Segment, ranges []PageRa
 		}
 		charge += time.Duration(r.Pages) * (k.cost.MigratePage + k.cost.MappingUpdate)
 	}
-	k.stats.MigratedPages.Add(total)
+	k.stats.MigratedPages.Add(uint64(dst.id), total)
 	k.clock.Advance(charge)
 	return nil
 }
@@ -358,7 +358,7 @@ func (k *Kernel) ModifyPageFlagsBatch(cred Cred, s *Segment, ranges []PageRange,
 		}
 		return nil
 	}
-	k.stats.ModifyCalls.Add(1)
+	k.stats.ModifyCalls.Add(uint64(s.id), 1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.deleted {
@@ -432,7 +432,7 @@ func (k *Kernel) GetPageAttributesBatch(s *Segment, pages []int64, dst []PageAtt
 		}
 		return dst, nil
 	}
-	k.stats.GetAttrCalls.Add(1)
+	k.stats.GetAttrCalls.Add(uint64(s.id), 1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.deleted {
@@ -480,7 +480,7 @@ func (k *Kernel) MigrateCoalescedBatch(cred Cred, src, dst *Segment, ranges []Pa
 		}
 		return nil
 	}
-	k.stats.MigrateCalls.Add(1)
+	k.stats.MigrateCalls.Add(uint64(dst.id), 1)
 	lockPair(src, dst)
 	defer unlockPair(src, dst)
 	if src.fpp != 1 {
@@ -561,7 +561,7 @@ func (k *Kernel) MigrateCoalescedBatch(cred Cred, src, dst *Segment, ranges []Pa
 			}
 		}
 	}
-	k.stats.MigratedPages.Add(total)
+	k.stats.MigratedPages.Add(uint64(dst.id), total)
 	k.clock.Advance(k.cost.KernelCall + time.Duration(total)*(k.cost.MigratePage+k.cost.MappingUpdate))
 	return nil
 }
@@ -583,7 +583,7 @@ func (k *Kernel) MigrateSplitBatch(cred Cred, src, dst *Segment, ranges []PageRa
 		}
 		return nil
 	}
-	k.stats.MigrateCalls.Add(1)
+	k.stats.MigrateCalls.Add(uint64(dst.id), 1)
 	lockPair(src, dst)
 	defer unlockPair(src, dst)
 	if dst.fpp != 1 {
@@ -650,7 +650,7 @@ func (k *Kernel) MigrateSplitBatch(cred Cred, src, dst *Segment, ranges []PageRa
 			}
 		}
 	}
-	k.stats.MigratedPages.Add(total)
+	k.stats.MigratedPages.Add(uint64(dst.id), total)
 	k.clock.Advance(k.cost.KernelCall + time.Duration(total)*(k.cost.MigratePage+k.cost.MappingUpdate))
 	return nil
 }

@@ -25,7 +25,6 @@ package kernel
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"epcm/internal/phys"
@@ -70,29 +69,37 @@ type Stats struct {
 	SuperpageOps     int64 // extent-granular operations charged SuperpageOp
 	ExtentPromotions int64 // extents promoted (explicitly or by migrate fast path)
 	ExtentDemotions  int64 // extents demoted (explicitly or by per-page hooks)
+	// Vectored-delivery counters (vector.go); zero unless the concurrent
+	// scheduler coalesced multi-fault runs into vectored upcalls.
+	VectoredBatches int64 // vectored upcalls delivered
+	VectoredFaults  int64 // faults carried by those upcalls
 }
 
 // kernelStats is the live counter set. Counters are atomic so concurrent
 // managers and applications can charge them without a lock; Stats() takes
-// a field-by-field snapshot into the plain Stats struct.
+// a field-by-field snapshot into the plain Stats struct. The fault-path
+// counters are striped by segment ID and the rest padded to a cache line
+// each (stats.go), so concurrent lanes do not ping-pong one line.
 type kernelStats struct {
-	Accesses          atomic.Int64
-	Faults            atomic.Int64
-	MissingFaults     atomic.Int64
-	ProtFaults        atomic.Int64
-	COWFaults         atomic.Int64
-	ManagerCalls      atomic.Int64
-	MigrateCalls      atomic.Int64
-	MigratedPages     atomic.Int64
-	ModifyCalls       atomic.Int64
-	GetAttrCalls      atomic.Int64
-	DroppedDeliveries atomic.Int64
-	DelayedDeliveries atomic.Int64
-	Revocations       atomic.Int64
-	RevokedSegments   atomic.Int64
-	SuperpageOps      atomic.Int64
-	ExtentPromotions  atomic.Int64
-	ExtentDemotions   atomic.Int64
+	Accesses          striped
+	Faults            striped
+	MissingFaults     striped
+	ProtFaults        striped
+	COWFaults         striped
+	ManagerCalls      striped
+	MigrateCalls      striped
+	MigratedPages     striped
+	ModifyCalls       striped
+	GetAttrCalls      striped
+	DroppedDeliveries padded
+	DelayedDeliveries padded
+	Revocations       padded
+	RevokedSegments   padded
+	SuperpageOps      padded
+	ExtentPromotions  padded
+	ExtentDemotions   padded
+	VectoredBatches   padded
+	VectoredFaults    padded
 }
 
 // Kernel is the simulated V++ kernel.
@@ -209,6 +216,8 @@ func (k *Kernel) Stats() Stats {
 		SuperpageOps:      k.stats.SuperpageOps.Load(),
 		ExtentPromotions:  k.stats.ExtentPromotions.Load(),
 		ExtentDemotions:   k.stats.ExtentDemotions.Load(),
+		VectoredBatches:   k.stats.VectoredBatches.Load(),
+		VectoredFaults:    k.stats.VectoredFaults.Load(),
 	}
 	s.TLBHits, s.TLBMisses = k.tlb.stats()
 	s.HashHits, s.HashMisses, s.HashSpills, s.HashDrops = k.table.stats()
@@ -234,6 +243,8 @@ func (k *Kernel) ResetStats() {
 	k.stats.SuperpageOps.Store(0)
 	k.stats.ExtentPromotions.Store(0)
 	k.stats.ExtentDemotions.Store(0)
+	k.stats.VectoredBatches.Store(0)
+	k.stats.VectoredFaults.Store(0)
 	k.tlb.resetStats()
 	k.table.resetStats()
 }
@@ -402,7 +413,7 @@ func checkRange(s *Segment, page, n int64) error {
 // all-or-nothing: every source page must be present and every destination
 // slot empty.
 func (k *Kernel) MigratePages(cred Cred, src, dst *Segment, srcPage, dstPage, n int64, set, clear PageFlags) error {
-	k.stats.MigrateCalls.Add(1)
+	k.stats.MigrateCalls.Add(uint64(dst.id), 1)
 	k.clock.Advance(k.cost.KernelCall)
 	lockPair(src, dst)
 	defer unlockPair(src, dst)
@@ -426,7 +437,7 @@ func (k *Kernel) MigratePages(cred Cred, src, dst *Segment, srcPage, dstPage, n 
 	// Charge the per-page costs once for the whole call: the totals are
 	// identical to charging inside movePage, and nothing reads the clock
 	// between the pages of one migration.
-	k.stats.MigratedPages.Add(n)
+	k.stats.MigratedPages.Add(uint64(dst.id), n)
 	k.clock.Advance(time.Duration(n) * (k.cost.MigratePage + k.cost.MappingUpdate))
 	return nil
 }
@@ -490,7 +501,7 @@ func (k *Kernel) movePage(src, dst *Segment, srcPage, dstPage int64, set, clear 
 // contiguous — this is how the SPCM satisfies large-page allocations on
 // machines with multiple page sizes.
 func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage, n int64, set, clear PageFlags) error {
-	k.stats.MigrateCalls.Add(1)
+	k.stats.MigrateCalls.Add(uint64(dst.id), 1)
 	k.clock.Advance(k.cost.KernelCall)
 	lockPair(src, dst)
 	defer unlockPair(src, dst)
@@ -536,7 +547,7 @@ func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage
 				k.tlb.invalidate(key)
 			}
 			k.clock.Advance(k.cost.MigratePage + k.cost.MappingUpdate)
-			k.stats.MigratedPages.Add(1)
+			k.stats.MigratedPages.Add(uint64(dst.id), 1)
 		}
 		ne := &pageEntry{frames: frames, flags: flags.Apply(set, clear)}
 		dst.pages.put(dstPage+i, ne)
@@ -554,7 +565,7 @@ func (k *Kernel) MigrateCoalesced(cred Cred, src, dst *Segment, srcPage, dstPage
 // MigrateSplit is the inverse of MigrateCoalesced: n large pages of src
 // (frames-per-page F) become n×F base pages of dst (frames-per-page 1).
 func (k *Kernel) MigrateSplit(cred Cred, src, dst *Segment, srcPage, dstPage, n int64, set, clear PageFlags) error {
-	k.stats.MigrateCalls.Add(1)
+	k.stats.MigrateCalls.Add(uint64(dst.id), 1)
 	k.clock.Advance(k.cost.KernelCall)
 	lockPair(src, dst)
 	defer unlockPair(src, dst)
@@ -593,7 +604,7 @@ func (k *Kernel) MigrateSplit(cred Cred, src, dst *Segment, srcPage, dstPage, n 
 				k.table.insert(mapKey{dst.id, dp}, ne)
 			}
 			k.clock.Advance(k.cost.MigratePage + k.cost.MappingUpdate)
-			k.stats.MigratedPages.Add(1)
+			k.stats.MigratedPages.Add(uint64(dst.id), 1)
 		}
 	}
 	return nil
@@ -602,7 +613,7 @@ func (k *Kernel) MigrateSplit(cred Cred, src, dst *Segment, srcPage, dstPage, n 
 // ModifyPageFlags modifies the page flags of [page, page+n) without moving
 // the frames (§2.1). Pages without frames in the range are an error.
 func (k *Kernel) ModifyPageFlags(cred Cred, s *Segment, page, n int64, set, clear PageFlags) error {
-	k.stats.ModifyCalls.Add(1)
+	k.stats.ModifyCalls.Add(uint64(s.id), 1)
 	k.clock.Advance(k.cost.KernelCall + k.cost.ModifyFlags)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -647,7 +658,7 @@ type PageAttribute struct {
 // [page, page+n) (§2.1). Missing pages are reported with Present false
 // rather than as errors, so managers can scan sparse segments.
 func (k *Kernel) GetPageAttributes(s *Segment, page, n int64) ([]PageAttribute, error) {
-	k.stats.GetAttrCalls.Add(1)
+	k.stats.GetAttrCalls.Add(uint64(s.id), 1)
 	k.clock.Advance(k.cost.KernelCall)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -679,7 +690,7 @@ func (k *Kernel) GetPageAttributes(s *Segment, page, n int64) ([]PageAttribute, 
 // identically but returns the attribute by value, so reclaim loops that poll
 // one page per step pay no slice allocation.
 func (k *Kernel) GetPageAttribute(s *Segment, page int64) (PageAttribute, error) {
-	k.stats.GetAttrCalls.Add(1)
+	k.stats.GetAttrCalls.Add(uint64(s.id), 1)
 	k.clock.Advance(k.cost.KernelCall)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -742,7 +753,7 @@ func (k *Kernel) chargeReturn(d DeliveryMode) time.Duration {
 // the locks to migrate frames in. The retry loop absorbs anything that
 // changed in between.
 func (k *Kernel) Access(s *Segment, page int64, access AccessType) error {
-	k.stats.Accesses.Add(1)
+	k.stats.Accesses.Add(uint64(s.id), 1)
 	// The deleted check happens inside resolve's first hop, under the lock
 	// that hop takes anyway.
 	if page < 0 {

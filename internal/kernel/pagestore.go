@@ -12,6 +12,15 @@ import "slices"
 // instead of a map probe. Pages far beyond the dense prefix (sparse
 // segments, huge page numbers) fall back to a map.
 //
+// A page inside the dense range can still live in the sparse map: several
+// application threads faulting disjoint sub-ranges of one segment park
+// high pages in sparse while the prefix is short, and the low-range
+// thread's sequential growth then overtakes them. A nil dense slot
+// therefore means "not in dense", not "absent" — get/put/del fall through
+// to sparse whenever the map is non-empty, and a put never leaves the same
+// page in both arms. Single-range workloads never populate sparse, so
+// their lookups stay a bounds check and a load.
+//
 // The split is purely an implementation detail: put/get/del/forEach behave
 // exactly like a map[int64]*pageEntry, which the property tests in
 // pagestore_test.go verify against a reference model.
@@ -27,16 +36,20 @@ const (
 )
 
 type pageStore struct {
-	dense  []*pageEntry         // pages [0, len(dense)); nil = absent
-	sparse map[int64]*pageEntry // pages beyond the dense prefix
+	dense  []*pageEntry         // pages [0, len(dense)); nil = not in dense
+	sparse map[int64]*pageEntry // pages the dense slice does not hold
 	n      int                  // number of present pages
 }
 
 // get returns the entry at page, if present.
 func (ps *pageStore) get(page int64) (*pageEntry, bool) {
 	if uint64(page) < uint64(len(ps.dense)) {
-		e := ps.dense[page]
-		return e, e != nil
+		if e := ps.dense[page]; e != nil {
+			return e, true
+		}
+		if len(ps.sparse) == 0 {
+			return nil, false
+		}
 	}
 	e, ok := ps.sparse[page]
 	return e, ok
@@ -63,19 +76,22 @@ func (ps *pageStore) put(page int64, e *pageEntry) {
 	if page < 0 {
 		panic("kernel: negative page in pageStore.put")
 	}
-	if page < int64(len(ps.dense)) {
-		if ps.dense[page] == nil {
-			ps.n++
-		}
-		ps.dense[page] = e
-		return
-	}
-	if ps.admitDense(page) {
+	if page >= int64(len(ps.dense)) && ps.admitDense(page) {
 		for int64(len(ps.dense)) <= page {
 			ps.dense = append(ps.dense, nil)
 		}
+	}
+	if page < int64(len(ps.dense)) {
+		if ps.dense[page] == nil {
+			// The page may have been parked in sparse before the prefix
+			// grew over it; adopt it so no page lives in both arms.
+			if _, ok := ps.sparse[page]; ok {
+				delete(ps.sparse, page)
+			} else {
+				ps.n++
+			}
+		}
 		ps.dense[page] = e
-		ps.n++
 		return
 	}
 	if ps.sparse == nil {
@@ -93,8 +109,11 @@ func (ps *pageStore) del(page int64) {
 		if ps.dense[page] != nil {
 			ps.dense[page] = nil
 			ps.n--
+			return
 		}
-		return
+		if len(ps.sparse) == 0 {
+			return
+		}
 	}
 	if _, ok := ps.sparse[page]; ok {
 		delete(ps.sparse, page)
@@ -116,21 +135,35 @@ func (ps *pageStore) clear() {
 // early if fn returns false. fn may delete the page it was called with, but
 // must not otherwise mutate the store.
 func (ps *pageStore) forEach(fn func(page int64, e *pageEntry) bool) {
-	for p, e := range ps.dense {
-		if e != nil && !fn(int64(p), e) {
-			return
-		}
-	}
 	if len(ps.sparse) == 0 {
+		for p, e := range ps.dense {
+			if e != nil && !fn(int64(p), e) {
+				return
+			}
+		}
 		return
 	}
+	// Sparse keys may sit anywhere relative to the dense prefix, so merge
+	// the two sorted streams to keep the ascending-order contract.
 	keys := make([]int64, 0, len(ps.sparse))
 	for p := range ps.sparse {
 		keys = append(keys, p)
 	}
 	slices.Sort(keys)
-	for _, p := range keys {
-		if e, ok := ps.sparse[p]; ok && !fn(p, e) {
+	si := 0
+	for p, e := range ps.dense {
+		for si < len(keys) && keys[si] < int64(p) {
+			if se, ok := ps.sparse[keys[si]]; ok && !fn(keys[si], se) {
+				return
+			}
+			si++
+		}
+		if e != nil && !fn(int64(p), e) {
+			return
+		}
+	}
+	for ; si < len(keys); si++ {
+		if se, ok := ps.sparse[keys[si]]; ok && !fn(keys[si], se) {
 			return
 		}
 	}

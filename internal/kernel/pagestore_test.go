@@ -139,6 +139,43 @@ func TestPageStoreDeleteDuringForEach(t *testing.T) {
 	}
 }
 
+// TestPageStoreDenseGrowthAdoptsSparse pins the multi-driver shadowing bug:
+// a put at a high page lands in sparse while the dense prefix is short; a
+// later put that grows the dense prefix past that page must adopt the sparse
+// entry, not shadow it behind a nil dense slot. This is exactly the shape
+// several application threads produce faulting disjoint sub-ranges of one
+// segment — the high-range threads park pages in sparse, the low-range
+// thread's sequential growth overtakes them.
+func TestPageStoreDenseGrowthAdoptsSparse(t *testing.T) {
+	var ps pageStore
+	high := &pageEntry{flags: FlagDirty}
+	ps.put(10_000, high) // dense is empty: 10_000 >= 2*0 and >= direct, so sparse
+	if ps.len() != 1 {
+		t.Fatalf("len = %d after one put", ps.len())
+	}
+	// Grow the dense prefix over it: 6_000 < 2*6_000, admitted dense once the
+	// prefix reaches 3_000; walk it up in admitted steps.
+	for _, p := range []int64{2_000, 3_999, 7_000, 13_000} {
+		ps.put(p, &pageEntry{})
+	}
+	if got, ok := ps.get(10_000); !ok || got != high {
+		t.Fatalf("get(10_000) = (%p,%v) after dense growth, want (%p,true)", got, ok, high)
+	}
+	if ps.len() != 5 {
+		t.Fatalf("len = %d, want 5", ps.len())
+	}
+	// Replacing the adopted entry must not double-count.
+	repl := &pageEntry{}
+	ps.put(10_000, repl)
+	if got, _ := ps.get(10_000); got != repl || ps.len() != 5 {
+		t.Fatalf("after replace: get = %p len = %d, want %p len 5", got, ps.len(), repl)
+	}
+	ps.del(10_000)
+	if ps.has(10_000) || ps.len() != 4 {
+		t.Fatalf("after del: has=%v len=%d", ps.has(10_000), ps.len())
+	}
+}
+
 // TestPageStoreNegativePagePanics pins the contract violation mode.
 func TestPageStoreNegativePagePanics(t *testing.T) {
 	defer func() {

@@ -109,15 +109,15 @@ func (k *Kernel) process(d delivery) error {
 // exactly the pre-plane synchronous path, which is what keeps the serial
 // scheduler's output byte-identical.
 func (k *Kernel) processFault(m Manager, f Fault) error {
-	k.stats.Faults.Add(1)
-	k.stats.ManagerCalls.Add(1)
+	k.stats.Faults.Add(uint64(f.Seg.id), 1)
+	k.stats.ManagerCalls.Add(uint64(f.Seg.id), 1)
 	switch f.Kind {
 	case FaultMissing:
-		k.stats.MissingFaults.Add(1)
+		k.stats.MissingFaults.Add(uint64(f.Seg.id), 1)
 	case FaultProtection:
-		k.stats.ProtFaults.Add(1)
+		k.stats.ProtFaults.Add(uint64(f.Seg.id), 1)
 	case FaultCopyOnWrite:
-		k.stats.COWFaults.Add(1)
+		k.stats.COWFaults.Add(uint64(f.Seg.id), 1)
 	}
 	sh := k.timeShardOf(m)
 	k.clock.Advance(k.cost.Trap)
@@ -160,7 +160,7 @@ func (k *Kernel) processFault(m Manager, f Fault) error {
 // processDelete is the deletion-notice path: one manager call, the delivery
 // cost, and the manager's salvage pass.
 func (k *Kernel) processDelete(m Manager, s *Segment) {
-	k.stats.ManagerCalls.Add(1)
+	k.stats.ManagerCalls.Add(uint64(s.id), 1)
 	tickShard(k.timeShardOf(m), k.chargeDelivery(m.Delivery()))
 	m.SegmentDeleted(s)
 }
@@ -279,14 +279,20 @@ type lane struct {
 	// engine (lane = manager = time shard) — so the enqueue path pays one
 	// pointer read instead of a map lookup.
 	shardClock *sim.Clock
-	// buf is the executor's drain batch. Only the token holder touches it,
-	// so it needs no synchronization.
-	buf [laneDrainBatch]plane.Envelope[delivery]
+	// buf is the executor's drain batch; vecFaults/vecErrs/vecIdx are the
+	// vectored-delivery scratch processFaultRun fills from it (vector.go).
+	// Only the token holder touches any of them, so none need
+	// synchronization, and a batch allocates nothing.
+	buf       [laneDrainBatch]plane.Envelope[delivery]
+	vecFaults [laneDrainBatch]Fault
+	vecErrs   [laneDrainBatch]error
+	vecIdx    [laneDrainBatch]int
 }
 
 // laneDrainBatch is how many queued messages the executor pulls from the
-// ring per PopMany — one head publication amortized over the batch.
-const laneDrainBatch = 16
+// ring per PopMany — one head publication amortized over the batch, and the
+// ceiling on how many faults one vectored upcall can carry.
+const laneDrainBatch = 64
 
 // LaneMaintainer is an optional Manager extension. When a manager
 // implements it, the concurrent scheduler calls LaneIdle on the lane's
@@ -354,22 +360,41 @@ func (s *concurrentScheduler) laneOf(m Manager) *lane {
 // drainCells processes every queued message of a lane. The caller must hold
 // the lane's combining token. Messages of a revoked lane are answered nil —
 // lost deliveries, so the faulting processes retry against the adopting
-// manager.
+// manager. With vectored delivery on, a run of consecutive fault messages
+// popped in one batch becomes a single vectored upcall (vector.go); runs of
+// one — the only shape a lightly loaded lane ever pops — take the legacy
+// per-fault path, so low occupancy passes through untouched.
 func (s *concurrentScheduler) drainCells(ln *lane) {
 	for {
 		n := ln.ring.PopMany(ln.buf[:])
 		if n == 0 {
 			return
 		}
-		for i := 0; i < n; i++ {
-			env := ln.buf[i]
-			ln.buf[i] = plane.Envelope[delivery]{} // drop references early
+		vec := vectorOps.Load()
+		for i := 0; i < n; {
 			if ln.revoked.Load() {
-				if env.Msg.reply != nil {
-					env.Msg.reply <- nil
+				for ; i < n; i++ {
+					env := ln.buf[i]
+					ln.buf[i] = plane.Envelope[delivery]{} // drop references early
+					if env.Msg.reply != nil {
+						env.Msg.reply <- nil
+					}
 				}
-				continue
+				break
 			}
+			if vec {
+				if run := faultRunLen(ln.buf[i:n]); run > 1 {
+					s.k.processFaultRun(ln, ln.buf[i:i+run])
+					for j := i; j < i+run; j++ {
+						ln.buf[j] = plane.Envelope[delivery]{}
+					}
+					i += run
+					continue
+				}
+			}
+			env := ln.buf[i]
+			ln.buf[i] = plane.Envelope[delivery]{}
+			i++
 			err := s.k.process(env.Msg)
 			if env.Msg.reply != nil {
 				env.Msg.reply <- err

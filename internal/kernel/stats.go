@@ -1,0 +1,65 @@
+package kernel
+
+import "sync/atomic"
+
+// Counter layout for the kernel's live activity stats.
+//
+// Under the concurrent scheduler every driver goroutine and every lane
+// executor charges the same kernelStats struct. Two distinct effects hurt
+// there, and each gets its own cure:
+//
+//   - False sharing: adjacent atomic.Int64 fields pack eight to a cache
+//     line, so a driver bumping Accesses invalidates the line holding
+//     Faults for every lane executor. padded gives each counter its own
+//     64-byte line.
+//   - True sharing: all drivers bump the same Accesses word, so the line
+//     ping-pongs between cores even once it is alone on it. striped splits
+//     one logical counter across statStripes lines, indexed by a cheap
+//     caller-supplied key (the segment ID on every charging path), so
+//     traffic against different segments lands on different lines. Load
+//     sums the stripes — counts are exact, only their placement is spread.
+//
+// Neither change affects virtual-time charging or the golden output: these
+// are process-memory placement choices for wall-clock scaling only.
+
+// statStripes is the stripe count for striped counters. Eight lines bounds
+// the Stats() summation cost while separating up to eight concurrently
+// charging segments; keys hash by masking, so it must stay a power of two.
+const statStripes = 8
+
+// padded is an atomic counter alone on its cache line. The embedded
+// atomic.Int64 keeps the call sites identical to a bare atomic field.
+type padded struct {
+	atomic.Int64
+	_ [56]byte
+}
+
+// striped is one logical counter split across statStripes cache lines.
+type striped struct {
+	c [statStripes]padded
+}
+
+// Add charges d to the stripe selected by key. Callers pass the segment ID
+// of the page the charge concerns — stable per lane, distinct across lanes.
+func (s *striped) Add(key uint64, d int64) {
+	s.c[key&(statStripes-1)].Int64.Add(d)
+}
+
+// Load sums the stripes. Exact, but not a snapshot under concurrent Adds
+// (neither is a single atomic read of a counter others are bumping).
+func (s *striped) Load() int64 {
+	var t int64
+	for i := range s.c {
+		t += s.c[i].Int64.Load()
+	}
+	return t
+}
+
+// Store resets the counter to v (stripe 0 takes the value, the rest zero).
+// Only the quiescent ResetStats path uses it.
+func (s *striped) Store(v int64) {
+	s.c[0].Int64.Store(v)
+	for i := 1; i < statStripes; i++ {
+		s.c[i].Int64.Store(0)
+	}
+}

@@ -205,6 +205,19 @@ type Generic struct {
 	runSlotQueue    []int64 // preselected slots for an in-flight refill
 	runSlotNext     int     // consumption cursor into runSlotQueue
 	runStartScratch []int64 // refill's slot-plan scratch (run starts)
+
+	// Vectored-resolve scratch (vector.go). Only the delivery lane's
+	// executor calls HandleFaultVector, so none of it needs locking, and a
+	// steady-state batch allocates nothing.
+	vecClass    []uint8
+	vecSeen     map[resKey]struct{}
+	vecMembers  []int
+	vecChosen   []int
+	vecSlotIdx  []int
+	vecPages    []int64
+	vecSlots    []int64
+	vecNilSlots []int64
+	vecRanges   []kernel.PageRange
 }
 
 var _ kernel.Manager = (*Generic)(nil)
@@ -424,6 +437,13 @@ func (g *Generic) RunsGranted(n int) { g.stats.Grants += int64(n) }
 // HandleFault implements kernel.Manager.
 func (g *Generic) HandleFault(f kernel.Fault) error {
 	g.stats.Faults++
+	return g.handleFault1(f)
+}
+
+// handleFault1 resolves one fault — HandleFault minus the fault count, so
+// the vectored path (vector.go) can route individual faults of a batch
+// through the exact serial resolution without double-counting.
+func (g *Generic) handleFault1(f kernel.Fault) error {
 	var err error
 	switch f.Kind {
 	case kernel.FaultProtection:

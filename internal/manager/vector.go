@@ -1,0 +1,383 @@
+package manager
+
+import (
+	"errors"
+
+	"epcm/internal/kernel"
+	"epcm/internal/phys"
+)
+
+// Batched fault resolution — the manager half of vectored delivery. When
+// the kernel hands Generic a vector of faults (kernel.VectorHandler), the
+// manager resolves them in bulk instead of one round trip each:
+//
+//   - default-handled protection faults are grouped by (segment, flag) and
+//     settled with one ModifyPageFlagsBatch per group;
+//   - plain missing-page faults are grouped by segment: free frames are
+//     acquired for the whole group up front (one frame-source request or
+//     one Reclaim pass — victim selection runs once per group, through the
+//     same Policy hooks the serial path uses), missing frame pointers are
+//     resolved with one AppendFirstFrames call, each frame is filled, and
+//     the group lands with one MigratePagesBatch;
+//   - everything else — COW faults, recall hits, constraint or Protection
+//     or superpage specializations, duplicate pages within the batch —
+//     takes handleFault1, the exact serial path, per fault.
+//
+// Any batched step that fails falls back to the serial path for the faults
+// it covered, so the observable per-fault outcomes (which pages become
+// resident, which faults error and how) match serial resolution; only the
+// number of kernel calls spent getting there shrinks.
+
+var _ kernel.VectorHandler = (*Generic)(nil)
+
+// IOAccountant is an optional FrameSource extension: a source that meters
+// I/O (the SPCM's memory market) is charged once per resolved group for
+// the pages the group filled from backing store, instead of per page-in.
+// Only the vectored path charges through this interface — the serial path
+// predates it and stays cost-identical to the paper's accounting.
+type IOAccountant interface {
+	ChargeIO(g *Generic, pages int64)
+}
+
+// Fault classes assigned during the classification pass. classDone marks a
+// fault a batched group already resolved.
+const (
+	vecSerial = uint8(iota)
+	vecProt
+	vecMiss
+	vecDone
+)
+
+// HandleFaultVector implements kernel.VectorHandler.
+func (g *Generic) HandleFaultVector(fs []kernel.Fault, errs []error) {
+	g.stats.Faults += int64(len(fs))
+	if len(fs) == 1 {
+		errs[0] = g.handleFault1(fs[0])
+		return
+	}
+	if cap(g.vecClass) < len(fs) {
+		g.vecClass = make([]uint8, len(fs))
+	}
+	cls := g.vecClass[:len(fs)]
+	if g.vecSeen == nil {
+		g.vecSeen = make(map[resKey]struct{}, len(fs))
+	} else {
+		for k := range g.vecSeen {
+			delete(g.vecSeen, k)
+		}
+	}
+	superOn := g.superOn()
+	for i, f := range fs {
+		key := resKey{seg: f.Seg, page: f.Page}
+		cls[i] = vecSerial
+		switch {
+		case f.Kind == kernel.FaultProtection && g.cfg.Protection == nil:
+			if _, dup := g.vecSeen[key]; dup {
+				break
+			}
+			g.vecSeen[key] = struct{}{}
+			cls[i] = vecProt
+		case f.Kind == kernel.FaultMissing && !superOn && g.cfg.Constraint == nil:
+			if _, dup := g.vecSeen[key]; dup {
+				break // second fault on one page reproduces serial ErrPageBusy
+			}
+			if len(g.recallIdx) > 0 {
+				if _, ok := g.recallIdx[key]; ok {
+					break // fast re-fault keeps its exact serial charges
+				}
+			}
+			if f.Seg.HasPage(f.Page) {
+				break // stale fault; serial path reports ErrPageBusy
+			}
+			g.vecSeen[key] = struct{}{}
+			cls[i] = vecMiss
+		}
+	}
+	for i := range fs {
+		if cls[i] == vecProt {
+			g.resolveProtGroup(fs, errs, cls, i)
+		}
+	}
+	for i := range fs {
+		if cls[i] == vecMiss {
+			g.resolveMissGroup(fs, errs, cls, i)
+		}
+	}
+	for i, f := range fs {
+		if cls[i] == vecSerial {
+			errs[i] = g.handleFault1(f)
+		}
+	}
+}
+
+// needFlag is the access mode a default-handled protection fault enables.
+func needFlag(f kernel.Fault) kernel.PageFlags {
+	if f.Access == kernel.Write {
+		return kernel.FlagWrite
+	}
+	return kernel.FlagRead
+}
+
+// resolveProtGroup settles every vecProt fault sharing fs[first]'s segment
+// and needed flag with one ModifyPageFlagsBatch, then feeds the per-fault
+// signals (policy touch, OnFault) exactly as the serial path would.
+func (g *Generic) resolveProtGroup(fs []kernel.Fault, errs []error, cls []uint8, first int) {
+	seg, need := fs[first].Seg, needFlag(fs[first])
+	g.vecMembers = g.vecMembers[:0]
+	g.vecRanges = g.vecRanges[:0]
+	for i := first; i < len(fs); i++ {
+		if cls[i] != vecProt || fs[i].Seg != seg || needFlag(fs[i]) != need {
+			continue
+		}
+		cls[i] = vecDone
+		g.vecMembers = append(g.vecMembers, i)
+		p := fs[i].Page
+		if n := len(g.vecRanges); n > 0 && g.vecRanges[n-1].Page+g.vecRanges[n-1].Pages == p {
+			g.vecRanges[n-1].Pages++
+		} else {
+			g.vecRanges = append(g.vecRanges, kernel.PageRange{Page: p, Pages: 1})
+		}
+	}
+	if err := g.k.ModifyPageFlagsBatch(kernel.AppCred, seg, g.vecRanges, need, 0); err != nil {
+		for _, i := range g.vecMembers {
+			errs[i] = g.handleFault1(fs[i])
+		}
+		return
+	}
+	for _, i := range g.vecMembers {
+		g.policyTouch(resKey{seg: seg, page: fs[i].Page})
+		if g.cfg.OnFault != nil {
+			g.cfg.OnFault(fs[i])
+		}
+	}
+}
+
+// resolveMissGroup pages in every vecMiss fault sharing fs[first]'s
+// segment as one group: frames for the whole group are acquired up front,
+// filled in place, and migrated with a single batched kernel call. Faults
+// the group cannot serve (no frame left, fill error, batch failure) fall
+// back per fault.
+func (g *Generic) resolveMissGroup(fs []kernel.Fault, errs []error, cls []uint8, first int) {
+	seg := fs[first].Seg
+	members := g.vecMembers[:0]
+	for i := first; i < len(fs); i++ {
+		if cls[i] == vecMiss && fs[i].Seg == seg {
+			cls[i] = vecDone
+			members = append(members, i)
+		}
+	}
+	g.vecMembers = members
+
+	// Acquire frames for the whole group: the one frame-source request /
+	// Reclaim pass that replaces a per-fault allocSlot loop. Victim
+	// selection runs once here, through the same Policy hooks.
+	need := len(members)
+	for attempt := 0; attempt < 3 && len(g.freeSlots) < need; attempt++ {
+		if g.cfg.Source != nil {
+			want := need - len(g.freeSlots)
+			if want < g.cfg.RequestBatch {
+				want = g.cfg.RequestBatch
+			}
+			granted, err := g.cfg.Source.RequestFrames(g, want, phys.AnyFrame())
+			if err != nil {
+				break // serial fallback below surfaces the source's behaviour
+			}
+			if granted > 0 {
+				continue
+			}
+		}
+		if _, err := g.Reclaim(need-len(g.freeSlots), phys.AnyFrame()); err != nil {
+			break
+		}
+	}
+
+	// Choose slots: unassociated frames first, then break recall
+	// associations, exactly allocSlot's preference order.
+	chosen := g.vecChosen[:0]
+	for i := range g.freeSlots {
+		if len(chosen) == need {
+			break
+		}
+		if !g.freeSlots[i].recall {
+			chosen = append(chosen, i)
+		}
+	}
+	for i := range g.freeSlots {
+		if len(chosen) == need {
+			break
+		}
+		if sl := g.freeSlots[i]; sl.recall {
+			delete(g.recallIdx, sl.from)
+			g.freeSlots[i].recall = false
+			chosen = append(chosen, i)
+		}
+	}
+	g.vecChosen = chosen
+
+	// Resolve missing frame pointers for the chosen slots in one batched
+	// segment-lock pass instead of a FrameAt per slot.
+	g.vecNilSlots = g.vecNilSlots[:0]
+	for _, ci := range chosen {
+		if g.freeSlots[ci].frame == nil {
+			g.vecNilSlots = append(g.vecNilSlots, g.freeSlots[ci].slot)
+		}
+	}
+	if len(g.vecNilSlots) > 0 {
+		g.frameScratch = g.free.AppendFirstFrames(g.frameScratch[:0], g.vecNilSlots)
+		j := 0
+		for _, ci := range chosen {
+			if g.freeSlots[ci].frame == nil {
+				g.freeSlots[ci].frame = g.frameScratch[j]
+				j++
+			}
+		}
+	}
+
+	// Fill each frame while it is still in the free segment. A fault the
+	// group has no frame for goes back to the serial path (which runs its
+	// own acquisition attempts and produces serial ErrNoMemory semantics);
+	// a fill error is that fault's outcome, its frame stays free.
+	if cap(g.vecSlotIdx) < len(members) {
+		g.vecSlotIdx = make([]int, len(members))
+	}
+	slotIdx := g.vecSlotIdx[:len(members)]
+	fills := int64(0)
+	for j, i := range members {
+		if j >= len(chosen) {
+			slotIdx[j] = -1
+			cls[i] = vecSerial
+			continue
+		}
+		slotIdx[j] = chosen[j]
+		f := fs[i]
+		frame := g.freeSlots[chosen[j]].frame
+		fillErr := g.fillFrame(f, frame)
+		switch {
+		case fillErr == nil:
+			g.stats.Fills++
+			fills++
+		case errors.Is(fillErr, ErrSkipFill):
+			// Contents intentionally left as they are.
+		default:
+			errs[i] = fillErr
+			slotIdx[j] = -1
+		}
+	}
+	if fills > 0 {
+		if acct, ok := g.cfg.Source.(IOAccountant); ok {
+			acct.ChargeIO(g, fills)
+		}
+	}
+
+	// Settle the group with one batched migration.
+	g.vecSlots = g.vecSlots[:0]
+	g.vecPages = g.vecPages[:0]
+	for j, i := range members {
+		if slotIdx[j] >= 0 {
+			g.vecSlots = append(g.vecSlots, g.freeSlots[slotIdx[j]].slot)
+			g.vecPages = append(g.vecPages, fs[i].Page)
+		}
+	}
+	if len(g.vecSlots) == 0 {
+		return
+	}
+	g.vecRanges = kernel.CoalesceRangesInto(g.vecRanges[:0], g.vecSlots, g.vecPages)
+	g.stats.MigrateCalls++
+	if err := g.k.MigratePagesBatch(kernel.AppCred, g.free, seg, g.vecRanges,
+		g.cfg.MapFlags, kernel.FlagReferenced|kernel.FlagDirty); err != nil {
+		g.missGroupFallback(fs, errs, members, slotIdx, seg)
+		return
+	}
+	// Bookkeeping: free-slot removals run highest index first so the
+	// swap-remove never relocates a chosen entry that is still pending.
+	used := chosen[:0]
+	for j := range members {
+		if slotIdx[j] >= 0 {
+			used = append(used, slotIdx[j])
+		}
+	}
+	sortDescending(used)
+	for _, ci := range used {
+		slot := g.freeSlots[ci].slot
+		g.removeFreeSlotAt(ci)
+		g.emptySlots = append(g.emptySlots, slot)
+	}
+	for j, i := range members {
+		if slotIdx[j] < 0 {
+			continue
+		}
+		g.addResident(resKey{seg: seg, page: fs[i].Page})
+		if g.cfg.OnFault != nil {
+			g.cfg.OnFault(fs[i])
+		}
+	}
+}
+
+// missGroupFallback re-runs a failed group migration page at a time — the
+// same degradation SegmentDeleted uses — so one bad range cannot take down
+// the faults that could still be served. g.vecSlots still holds the slot
+// numbers of the filled members in order; free-list indices are relocated
+// by slot number because every removal reshuffles them.
+func (g *Generic) missGroupFallback(fs []kernel.Fault, errs []error, members []int, slotIdx []int, seg *kernel.Segment) {
+	cursor := 0
+	for j, i := range members {
+		if slotIdx[j] < 0 {
+			continue
+		}
+		slot := g.vecSlots[cursor]
+		cursor++
+		ci := -1
+		for x := range g.freeSlots {
+			if g.freeSlots[x].slot == slot {
+				ci = x
+				break
+			}
+		}
+		if ci < 0 {
+			errs[i] = ErrNoMemory
+			continue
+		}
+		g.stats.MigrateCalls++
+		if err := g.k.MigratePages(kernel.AppCred, g.free, seg, slot, fs[i].Page, 1,
+			g.cfg.MapFlags, kernel.FlagReferenced|kernel.FlagDirty); err != nil {
+			errs[i] = err
+			continue
+		}
+		g.removeFreeSlotAt(ci)
+		g.emptySlots = append(g.emptySlots, slot)
+		g.addResident(resKey{seg: seg, page: fs[i].Page})
+		if g.cfg.OnFault != nil {
+			g.cfg.OnFault(fs[i])
+		}
+	}
+}
+
+// sortDescending is an allocation-free insertion sort for the small
+// (≤ batch size) used-slot index lists.
+func sortDescending(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] > a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// fillFrame runs the fill hook or backing fill with the retry budget — the
+// fill leg of PageIn, shared with the vectored path.
+func (g *Generic) fillFrame(f kernel.Fault, frame *phys.Frame) error {
+	var err error
+	if g.cfg.Fill != nil {
+		err = g.cfg.Fill(f, frame)
+	} else {
+		err = g.cfg.Backing.Fill(f.Seg, f.Page, frame)
+	}
+	if err != nil {
+		err = g.retryBacking(err, func() error {
+			if g.cfg.Fill != nil {
+				return g.cfg.Fill(f, frame)
+			}
+			return g.cfg.Backing.Fill(f.Seg, f.Page, frame)
+		})
+	}
+	return err
+}

@@ -350,7 +350,9 @@ func (s *SPCM) SettleAll() {
 	}
 }
 
-// ChargeIO records n pages of I/O against a manager's account.
+// ChargeIO records n pages of I/O against a manager's account. It also
+// implements manager.IOAccountant, so a manager resolving a vectored fault
+// batch bills the group's fills in one call.
 func (s *SPCM) ChargeIO(g *manager.Generic, pages int64) {
 	s.regMu.RLock()
 	a, ok := s.accounts[g]
@@ -389,6 +391,11 @@ func (s *SPCM) vetoed(gate func(n int) bool, n int) bool {
 	defer s.gateMu.Unlock()
 	return !gate(n)
 }
+
+var (
+	_ manager.FrameSource  = (*SPCM)(nil)
+	_ manager.IOAccountant = (*SPCM)(nil)
+)
 
 // RequestFrames implements manager.FrameSource: grant, defer or refuse.
 // Requests from insolvent accounts are refused; otherwise up to n frames

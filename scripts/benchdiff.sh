@@ -40,8 +40,22 @@ min_ns_per_op() {
     END { for (n in best) printf "%s\t%s\n", n, best[n] }' "$1" | sort
 }
 
+# cpu_suffix FILE -> the distinct GOMAXPROCS suffixes (-N) seen on
+# benchmark names, e.g. "16". Go stamps the procs count into every name.
+cpu_suffix() {
+    awk '/^Benchmark/ && /ns\/op/ {
+        if (match($1, /-[0-9]+$/)) print substr($1, RSTART + 1)
+    }' "$1" | sort -un | paste -sd, -
+}
+
 diff_files() {
     local old=$1 new=$2
+    local oldcpu newcpu
+    oldcpu=$(cpu_suffix "$old")
+    newcpu=$(cpu_suffix "$new")
+    if [[ -n "$oldcpu" && -n "$newcpu" && "$oldcpu" != "$newcpu" ]]; then
+        echo "warning: comparing runs at different proc counts (old: $oldcpu, new: $newcpu); ns/op deltas are not comparable" >&2
+    fi
     join -t "$(printf '\t')" <(min_ns_per_op "$old") <(min_ns_per_op "$new") |
     awk -F '\t' 'BEGIN {
         printf "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
@@ -73,9 +87,13 @@ diff)
     diff_files "${2:?usage: benchdiff.sh diff OLD.bench NEW.bench}" "${3:?usage: benchdiff.sh diff OLD.bench NEW.bench}"
     ;;
 scale)
-    # Per-cell diff (wall faults/s and allocs/fault) of the last two sweeps
-    # recorded in BENCH_scale.json. Advisory like everything else here:
-    # never fails the build.
+    # Per-cell diff (wall faults/s, allocs/fault, and the p50/p99 fault
+    # latency columns) of the last two sweeps recorded in BENCH_scale.json.
+    # Vectored multi-driver cells carry their driver count and vector flag
+    # in the cell key, so they never collide with the plain matrix. The
+    # diff header prints each sweep's recorded CPU count and warns when
+    # they differ — wall-clock deltas across different hosts are noise.
+    # Advisory like everything else here: never fails the build.
     go run ./cmd/reproduce -scalediff || true
     ;;
 super)

@@ -61,4 +61,23 @@ echo "== superpage sweep smoke (base vs super, 2 managers) =="
     -superfaults 512 -superfile "$super_tmp" || true; } |
     grep -q "Superpage Extent Fast Path"
 
+echo "== vectored scale sweep smoke (2 managers, vector on/off cells) =="
+# Runs the full cell matrix at 2 managers, including the vectored-delivery
+# sub-table (multi-driver, vector on vs off). Wall numbers are advisory;
+# the smoke only checks that the vectored cells run and render.
+scale_tmp=$(mktemp)
+trap 'rm -f "$policy_tmp" "$time_tmp" "$super_tmp" "$scale_tmp"' EXIT
+{ go run ./cmd/reproduce -table 1 -scale -scalemanagers 2 \
+    -scalefaults 512 -scalefile "$scale_tmp" || true; } |
+    grep -q "Vectored delivery"
+
+echo "== golden output, vectoring ablation =="
+# The golden tables are produced by single-driver runs, where faults never
+# queue behind each other and batches never form — so the output must be
+# byte-identical with vectored delivery on (default) and off.
+golden_tmp=$(mktemp)
+trap 'rm -f "$policy_tmp" "$time_tmp" "$super_tmp" "$scale_tmp" "$golden_tmp"' EXIT
+go run ./cmd/reproduce -vector=false > "$golden_tmp"
+diff internal/experiments/testdata/reproduce.golden "$golden_tmp"
+
 echo "All checks passed."
